@@ -1,0 +1,22 @@
+"""Shared benchmark helpers.
+
+Each experiment bench executes the corresponding harness function once
+per measured round (they are deterministic, so one round with a few
+iterations gives stable numbers), asserts the experiment PASSES, and
+prints its measured rows so a benchmark run doubles as a reproduction
+report.
+"""
+
+import pytest
+
+from repro.harness.results import render_result
+
+
+def bench_experiment(benchmark, fn, *args, **kwargs):
+    result = benchmark.pedantic(
+        lambda: fn(*args, **kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_result(result))
+    assert result.passed, render_result(result)
+    return result

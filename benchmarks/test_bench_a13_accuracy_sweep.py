@@ -1,0 +1,13 @@
+"""Bench a13_accuracy_sweep: Ablation: uniformity-violation rate vs detector error rate.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_a13
+
+from conftest import bench_experiment
+
+
+def test_bench_a13_accuracy_sweep(benchmark):
+    bench_experiment(benchmark, run_a13)

@@ -1,0 +1,13 @@
+"""Bench a14_fairness: Ablation: R5 fairness is load-bearing (blackhole vs fairness budget).
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_a14
+
+from conftest import bench_experiment
+
+
+def test_bench_a14_fairness(benchmark):
+    bench_experiment(benchmark, run_a14)

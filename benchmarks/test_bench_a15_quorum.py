@@ -1,0 +1,13 @@
+"""Bench a15_quorum: Ablation: the t < n/2 crossover of Gopal-Toueg's detector-free protocol.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_a15
+
+from conftest import bench_experiment
+
+
+def test_bench_a15_quorum(benchmark):
+    bench_experiment(benchmark, run_a15)

@@ -1,0 +1,13 @@
+"""Bench a16: transient partitions (ablation).
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_a16
+
+from conftest import bench_experiment
+
+
+def test_bench_a16_partitions(benchmark):
+    bench_experiment(benchmark, run_a16)

@@ -1,0 +1,13 @@
+"""Bench a17: ensemble size vs knowledge-derived detection (ablation).
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_a17
+
+from conftest import bench_experiment
+
+
+def test_bench_a17_ensemble_size(benchmark):
+    bench_experiment(benchmark, run_a17)

@@ -1,0 +1,13 @@
+"""Bench e01_nudc: Prop 2.3: nUDC under fair-lossy channels, no detector, unbounded failures.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e01
+
+from conftest import bench_experiment
+
+
+def test_bench_e01_nudc(benchmark):
+    bench_experiment(benchmark, run_e01)

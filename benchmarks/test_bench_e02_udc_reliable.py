@@ -1,0 +1,13 @@
+"""Bench e02_udc_reliable: Prop 2.4: UDC over reliable channels without detectors (and its fair-lossy failure).
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e02
+
+from conftest import bench_experiment
+
+
+def test_bench_e02_udc_reliable(benchmark):
+    bench_experiment(benchmark, run_e02)

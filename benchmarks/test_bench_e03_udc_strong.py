@@ -1,0 +1,13 @@
+"""Bench e03_udc_strong: Prop 3.1: UDC with strong failure detectors over fair-lossy channels.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e03
+
+from conftest import bench_experiment
+
+
+def test_bench_e03_udc_strong(benchmark):
+    bench_experiment(benchmark, run_e03)

@@ -1,0 +1,13 @@
+"""Bench e04_conversions: Cor 3.2 + Props 2.1/2.2: impermanent-weak detectors suffice via conversions.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e04
+
+from conftest import bench_experiment
+
+
+def test_bench_e04_conversions(benchmark):
+    bench_experiment(benchmark, run_e04)

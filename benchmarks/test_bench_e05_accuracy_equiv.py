@@ -1,0 +1,13 @@
+"""Bench e05_accuracy_equiv: Prop 3.4: weak accuracy = strong accuracy under A1 + A5_{n-1}.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e05
+
+from conftest import bench_experiment
+
+
+def test_bench_e05_accuracy_equiv(benchmark):
+    bench_experiment(benchmark, run_e05)

@@ -1,0 +1,13 @@
+"""Bench e06_simulate_perfect: Thm 3.6: UDC systems simulate perfect failure detectors (transformation f).
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e06
+
+from conftest import bench_experiment
+
+
+def test_bench_e06_simulate_perfect(benchmark):
+    bench_experiment(benchmark, run_e06)

@@ -1,0 +1,13 @@
+"""Bench e07_tuseful: Prop 4.1 / Cor 4.2: t-useful generalized detectors attain UDC for every t.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e07
+
+from conftest import bench_experiment
+
+
+def test_bench_e07_tuseful(benchmark):
+    bench_experiment(benchmark, run_e07)

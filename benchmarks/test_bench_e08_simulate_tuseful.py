@@ -1,0 +1,13 @@
+"""Bench e08_simulate_tuseful: Thm 4.3: UDC systems simulate t-useful generalized detectors (transformation f').
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e08
+
+from conftest import bench_experiment
+
+
+def test_bench_e08_simulate_tuseful(benchmark):
+    bench_experiment(benchmark, run_e08)

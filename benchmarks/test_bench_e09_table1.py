@@ -1,0 +1,13 @@
+"""Bench e09_table1: Table 1: the full detector-requirements grid for UDC vs consensus.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.table1 import run_e09
+
+from conftest import bench_experiment
+
+
+def test_bench_e09_table1(benchmark):
+    bench_experiment(benchmark, run_e09)

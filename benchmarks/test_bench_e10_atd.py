@@ -1,0 +1,13 @@
+"""Bench e10_atd: Section 5: UDC with the ATD99 weakest failure detector.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e10
+
+from conftest import bench_experiment
+
+
+def test_bench_e10_atd(benchmark):
+    bench_experiment(benchmark, run_e10)

@@ -1,0 +1,13 @@
+"""Bench e11_prop35: Prop 3.5: the epistemic precondition, model-checked over an ensemble.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e11
+
+from conftest import bench_experiment
+
+
+def test_bench_e11_prop35(benchmark):
+    bench_experiment(benchmark, run_e11)

@@ -1,0 +1,13 @@
+"""Bench e12_a4: Section 3's A4 discussion: the non-FIP counterexample vs protocol ensembles.
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e12
+
+from conftest import bench_experiment
+
+
+def test_bench_e12_a4(benchmark):
+    bench_experiment(benchmark, run_e12)

@@ -1,0 +1,13 @@
+"""Bench e13: knowledge gain and full-information transfer (footnote 5, A4).
+
+Regenerates the corresponding experiment row of DESIGN.md Section 4 and
+prints the measured values alongside the timing.
+"""
+
+from repro.harness.experiments import run_e13
+
+from conftest import bench_experiment
+
+
+def test_bench_e13_knowledge_gain(benchmark):
+    bench_experiment(benchmark, run_e13)

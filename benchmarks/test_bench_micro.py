@@ -1,0 +1,110 @@
+"""Microbenchmarks for the substrates: executor throughput, knowledge
+model checking, the indistinguishability index, and the f transformation.
+
+These are the performance-sensitive inner loops every experiment rides
+on; they use pytest-benchmark's standard multi-round measurement.
+"""
+
+from repro.core.protocols import StrongFDUDCProcess
+from repro.core.simulation_theorem import transform_run_f
+from repro.detectors.standard import PerfectOracle
+from repro.knowledge import Crashed, Knows, ModelChecker
+from repro.knowledge.paper_formulas import dc2_formula
+from repro.model.context import make_process_ids
+from repro.model.run import Point
+from repro.model.system import System
+from repro.sim.ensembles import a5t_ensemble
+from repro.sim.executor import Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import post_crash_workload, single_action
+
+PROCS = make_process_ids(4)
+
+
+def one_run(seed=0):
+    return Executor(
+        PROCS,
+        uniform_protocol(StrongFDUDCProcess),
+        crash_plan=CrashPlan.of({"p3": 8}),
+        workload=single_action("p1", tick=1),
+        detector=PerfectOracle(),
+        seed=seed,
+    ).run()
+
+
+def small_system():
+    return a5t_ensemble(
+        PROCS,
+        uniform_protocol(StrongFDUDCProcess),
+        t=2,
+        workload=lambda plan: post_crash_workload(PROCS, plan, actions_per_survivor=1),
+        detector=PerfectOracle(),
+        seeds=(0,),
+    )
+
+
+def test_bench_executor_single_run(benchmark):
+    """End-to-end protocol execution: one UDC run with a crash."""
+    run = benchmark(one_run)
+    assert run.faulty() == frozenset({"p3"})
+
+
+def test_bench_ensemble_construction(benchmark):
+    """Building an A5_2 ensemble (11 crash plans, one seed)."""
+    system = benchmark.pedantic(small_system, rounds=3, iterations=1)
+    assert len(system) == 11
+
+
+def test_bench_indistinguishability_index(benchmark):
+    """Cold build of the ~_p index plus one knowledge query per process."""
+    base = small_system()
+
+    def rebuild_and_query():
+        system = System(base.runs)  # fresh: forces index construction
+        run = system.runs[-1]
+        return [
+            system.known_crashed_set(p, Point(run, run.duration))
+            for p in PROCS
+        ]
+
+    sets = benchmark(rebuild_and_query)
+    assert len(sets) == len(PROCS)
+
+
+def test_bench_knowledge_query_warm(benchmark):
+    """Warm K_p(crash(q)) queries over an indexed system."""
+    system = small_system()
+    checker = ModelChecker(system)
+    run = next(r for r in system if r.faulty())
+    victim = next(iter(run.faulty()))
+    formula = Knows("p1", Crashed(victim))
+    points = [Point(run, m) for m in range(run.duration + 1)]
+    checker.holds(formula, points[-1])  # prime the caches
+
+    def query_all():
+        return sum(checker.holds(formula, pt) for pt in points)
+
+    known = benchmark(query_all)
+    assert known > 0
+
+
+def test_bench_temporal_validity(benchmark):
+    """Model-checking a DC2 validity (n^2 temporal clauses) over a system."""
+    system = small_system()
+    action = ("p1", "pc0")
+
+    def check():
+        checker = ModelChecker(system)  # cold caches each round
+        return checker.valid(dc2_formula(PROCS, action))
+
+    assert benchmark(check)
+
+
+def test_bench_transform_f(benchmark):
+    """The P1-P3 run transformation for one run against its ensemble."""
+    system = small_system()
+    run = next(r for r in system if r.faulty())
+
+    out = benchmark(transform_run_f, run, system)
+    assert out.duration == 2 * run.duration + 1

@@ -1,0 +1,66 @@
+"""Bench S02 (supplementary figure): coordination latency vs message loss.
+
+Sweeps the fair-lossy channel's drop probability and reports the ticks
+until the LAST correct process performs the action (completion latency)
+for Prop 3.1's protocol.  Expected shape: monotone-ish growth with the
+drop rate, with liveness preserved across the whole sweep thanks to the
+R5 fairness budget -- the executable content of the paper's fairness
+assumption.
+"""
+
+from repro.core.protocols import StrongFDUDCProcess
+from repro.detectors.standard import PerfectOracle
+from repro.harness.stats import SeriesPoint, completion_latency, render_series
+from repro.model.context import make_process_ids
+from repro.sim.executor import ExecutionConfig, Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.network import ChannelConfig
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(4)
+DROP_RATES = (0.0, 0.2, 0.4, 0.6, 0.8)
+SEEDS = tuple(range(6))
+ACTION = ("p1", "a0")
+
+
+def latency_at(drop_prob: float) -> SeriesPoint:
+    samples = []
+    for seed in SEEDS:
+        config = ExecutionConfig(
+            channel=ChannelConfig(drop_prob=drop_prob, max_consecutive_drops=4)
+        )
+        run = Executor(
+            PROCS,
+            uniform_protocol(StrongFDUDCProcess, resend_rounds=40),
+            crash_plan=CrashPlan.of({"p3": 8}),
+            workload=single_action("p1", tick=1),
+            detector=PerfectOracle(),
+            config=config,
+            seed=seed,
+        ).run()
+        latency = completion_latency(run, ACTION)
+        assert latency is not None, f"liveness lost at drop={drop_prob}, seed={seed}"
+        samples.append(float(latency))
+    return SeriesPoint.of(drop_prob, samples)
+
+
+def test_bench_s02_loss_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: [latency_at(d) for d in DROP_RATES],
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(
+        render_series(
+            "UDC completion latency vs drop probability (Prop 3.1, n=4, one crash)",
+            "drop",
+            "ticks",
+            points,
+        )
+    )
+    # Liveness held everywhere (asserted inside) and hostility costs:
+    # the lossiest channel is slower than the lossless one.
+    assert points[-1].mean > points[0].mean

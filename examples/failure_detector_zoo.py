@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The failure-detector zoo: every class in the paper, measured.
+
+Runs the same crash scenario under each detector oracle and prints the
+accuracy/completeness matrix (Section 2.2's definitions, decided by the
+property checkers), together with whether Proposition 3.1's UDC
+protocol succeeds with that detector.
+
+    python examples/failure_detector_zoo.py
+"""
+
+from repro.core.properties import udc_holds
+from repro.core.protocols import StrongFDUDCProcess
+from repro.detectors.atd import AtdRotatingOracle
+from repro.detectors.base import NoDetector
+from repro.detectors.properties import (
+    atd_accuracy,
+    impermanent_strong_completeness,
+    impermanent_weak_completeness,
+    strong_accuracy,
+    strong_completeness,
+    weak_accuracy,
+    weak_completeness,
+)
+from repro.detectors.standard import (
+    EventuallyWeakOracle,
+    ImpermanentStrongOracle,
+    ImpermanentWeakOracle,
+    LyingOracle,
+    PerfectOracle,
+    StrongOracle,
+    WeakOracle,
+)
+from repro.model.context import make_process_ids
+from repro.sim.executor import Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import post_crash_workload, single_action
+
+PROCESSES = make_process_ids(4)
+PLAN = CrashPlan.of({"p2": 6, "p4": 14})
+SEEDS = range(4)
+
+PROPERTIES = [
+    ("strong acc", strong_accuracy),
+    ("weak acc", weak_accuracy),
+    ("ATD acc", atd_accuracy),
+    ("strong compl", strong_completeness),
+    ("weak compl", weak_completeness),
+    ("imp-s compl", impermanent_strong_completeness),
+    ("imp-w compl", impermanent_weak_completeness),
+]
+
+ZOO = [
+    ("perfect", PerfectOracle()),
+    ("strong", StrongOracle(false_positive_rate=0.4)),
+    ("weak", WeakOracle()),
+    ("imp-strong", ImpermanentStrongOracle(retract_after=5)),
+    ("imp-weak", ImpermanentWeakOracle(retract_after=5)),
+    ("<>S", EventuallyWeakOracle(stabilization_tick=30, noise_rate=0.6)),
+    ("ATD", AtdRotatingOracle(rotation_period=10)),
+    ("lying", LyingOracle()),
+    ("none", NoDetector()),
+]
+
+
+def main() -> None:
+    workload = single_action("p1", tick=1) + post_crash_workload(
+        PROCESSES, PLAN, actions_per_survivor=1
+    )
+
+    print(f"scenario: n={len(PROCESSES)}, crashes {dict(PLAN.crashes)}, {len(list(SEEDS))} seeds")
+    print("a property is ticked iff it holds in EVERY seeded run\n")
+    header = f"{'detector':12}" + "".join(f"{name:>14}" for name, _ in PROPERTIES)
+    header += f"{'UDC':>8}"
+    print(header)
+    print("-" * len(header))
+
+    for name, oracle in ZOO:
+        runs = [
+            Executor(
+                PROCESSES,
+                uniform_protocol(StrongFDUDCProcess),
+                crash_plan=PLAN,
+                workload=workload,
+                detector=oracle,
+                seed=seed,
+            ).run()
+            for seed in SEEDS
+        ]
+        row = f"{name:12}"
+        for _, checker in PROPERTIES:
+            holds = all(bool(checker(run)) for run in runs)
+            row += f"{'yes' if holds else '-':>14}"
+        udc = all(bool(udc_holds(run)) for run in runs)
+        row += f"{'yes' if udc else 'FAILS':>8}"
+        print(row)
+
+    print()
+    print("readings:")
+    print(" * perfect/strong/weak nest exactly as Section 2.2 defines;")
+    print(" * impermanent variants lose the *permanent* completeness column;")
+    print(" * 'weak' and 'imp-weak' FAIL UDC with this protocol: only the")
+    print("   witness suspects a crashed process, so everyone else waits")
+    print("   forever -- that gap is precisely what Prop 2.1's gossip")
+    print("   conversion closes (see experiment E04);")
+    print(" * 'lying' may pass on lucky seeds -- its false suspicions unblock")
+    print("   waits while messages happen to survive; ablation A13 shows the")
+    print("   uniformity violations such a detector produces at scale;")
+    print(" * 'none' fails UDC: with a crash, Prop 3.1's wait never resolves")
+    print("   (the DC1 liveness half), matching Table 1's unreliable column.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The knowledge-theoretic heart of the paper, step by step.
+
+Builds an ensemble of UDC runs, watches knowledge of a crash spread
+through the system, then applies Theorem 3.6's transformation f: the
+derived detector that suspects exactly ``{q : K_p crash(q)}`` is
+checked to be *perfect*.
+
+    python examples/knowledge_analysis.py
+"""
+
+from repro.core.properties import udc_holds
+from repro.core.protocols import StrongFDUDCProcess
+from repro.core.simulation_theorem import simulate_perfect_detectors, transform_run_f
+from repro.detectors.properties import is_perfect
+from repro.detectors.standard import PerfectOracle
+from repro.knowledge import Crashed, Knows, ModelChecker
+from repro.model.context import make_process_ids
+from repro.model.run import Point
+from repro.sim.ensembles import a5t_ensemble
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import post_crash_workload
+
+
+def main() -> None:
+    processes = make_process_ids(4)
+
+    # 1. A system: runs of the Prop 3.1 protocol under every failure
+    #    pattern of size <= 3, with actions initiated after each crash
+    #    (the theorem's "infinitely many initiations", finitely sampled).
+    system = a5t_ensemble(
+        processes,
+        uniform_protocol(StrongFDUDCProcess),
+        t=3,
+        workload=lambda plan: post_crash_workload(
+            processes, plan, actions_per_survivor=2
+        ),
+        detector=PerfectOracle(),
+        seeds=(0, 1),
+    )
+    print(f"system: {len(system)} runs over {len(processes)} processes")
+    print(f"UDC holds in every run: {all(bool(udc_holds(r)) for r in system)}")
+    print()
+
+    # 2. Watch knowledge spread.  Pick a run where p3 crashes and ask,
+    #    at each time, which processes know it.
+    run = next(r for r in system if r.faulty() == frozenset({"p3"}))
+    checker = ModelChecker(system)
+    crash_tick = run.crash_time("p3")
+    print(f"in one run, p3 crashes at time {crash_tick}; K_p(crash(p3)) over time:")
+    observers = [p for p in processes if p != "p3"]
+    learned: dict[str, int] = {}
+    for m in range(run.duration + 1):
+        for p in observers:
+            if p not in learned and checker.holds(Knows(p, Crashed("p3")), Point(run, m)):
+                learned[p] = m
+    for p in observers:
+        when = learned.get(p)
+        print(f"  {p}: {'never learns' if when is None else f'knows from time {when}'}")
+    print()
+    print("(knowledge is veridical: nobody 'knows' before the crash itself;")
+    print(f" earliest knowledge at {min(learned.values())} >= crash at {crash_tick})")
+    print()
+
+    # 3. Theorem 3.6: the run transformation f plants a derived report
+    #    suspect'_p({q : K_p crash(q)}) at every odd step.  The result
+    #    is a PERFECT failure detector -- accuracy from veridicality,
+    #    completeness from UDC + continued initiations.
+    f_run = transform_run_f(run, system)
+    derived_report_count = sum(
+        1
+        for p in processes
+        for e in f_run.events(p)
+        if getattr(e, "derived", False)
+    )
+    print(
+        f"f(run): duration {run.duration} -> {f_run.duration}, "
+        f"{derived_report_count} derived reports"
+    )
+    rf = simulate_perfect_detectors(system)
+    perfect = sum(1 for r in rf if is_perfect(r, derived=True))
+    print(f"R^f perfect-detector verdicts: {perfect}/{len(rf)} runs")
+    print()
+    print(
+        "A UDC-attaining system, under the paper's assumptions, *is* a\n"
+        "perfect failure detector -- that is Theorem 3.6."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""When order matters: UDC vs atomic broadcast on the same ledger.
+
+Section 2.4: UDC is "not concerned with executing actions in a
+particular order (e.g., total-order multicast)" -- and Table 1 shows
+why that restraint is cheap: UDC needs weaker detectors than consensus.
+This example runs the *same* bank-ledger workload twice:
+
+1. under plain UDC (Prop 3.1's protocol): every correct replica applies
+   the same SET of commands, but replicas may interleave them
+   differently, and order-sensitive balances can diverge;
+2. under atomic broadcast (the consensus-powered total-order extension
+   in repro.core.atomic_broadcast): identical sequences, identical
+   balances -- at the price of consensus's requirements (majority
+   correct + <>S).
+
+    python examples/total_order_ledger.py
+"""
+
+from repro.core.atomic_broadcast import AtomicBroadcastProcess, deliveries
+from repro.core.protocols import StrongFDUDCProcess
+from repro.detectors.standard import EventuallyWeakOracle, StrongOracle
+from repro.model.context import make_process_ids
+from repro.model.events import DoEvent
+from repro.sim.executor import ExecutionConfig, Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import action_id
+
+REPLICAS = make_process_ids(5)
+
+# An order-sensitive workload: the withdrawal bounces iff it is applied
+# before the deposit.
+WORKLOAD = [
+    (1, "p1", action_id("p1", "withdraw:60")),
+    (2, "p2", action_id("p2", "deposit:50")),
+    (4, "p4", action_id("p4", "withdraw:30")),
+]
+COMMANDS = {a for _, _, a in WORKLOAD}
+
+
+def apply_commands(commands) -> tuple[int, int]:
+    """Replay a command sequence; returns (balance, bounced)."""
+    balance, bounced = 40, 0
+    for _, command in commands:
+        verb, amount = command.split(":")
+        amount = int(amount)
+        if verb == "deposit":
+            balance += amount
+        elif balance >= amount:
+            balance -= amount
+        else:
+            bounced += 1
+    return balance, bounced
+
+
+def show(title: str, sequences: dict) -> bool:
+    print(title)
+    outcomes = set()
+    for replica, seq in sequences.items():
+        balance, bounced = apply_commands(seq)
+        outcomes.add((tuple(seq), balance, bounced))
+        order = " -> ".join(c.split(":")[0][:4] + c.split(":")[1] for _, c in seq)
+        print(f"  {replica}: [{order}]  balance={balance} bounced={bounced}")
+    agreed = len({(bal, b) for _, bal, b in outcomes}) == 1
+    print(f"  replicas agree on final state: {agreed}\n")
+    return agreed
+
+
+def main() -> None:
+    print("initial balance 40; commands: withdraw 60, deposit 50, withdraw 30\n")
+
+    # --- plain UDC ---------------------------------------------------------
+    udc_run = Executor(
+        REPLICAS,
+        uniform_protocol(StrongFDUDCProcess),
+        workload=WORKLOAD,
+        detector=StrongOracle(),
+        seed=3,
+    ).run()
+    udc_sequences = {
+        r: [
+            e.action
+            for e in udc_run.final_history(r).events_of_type(DoEvent)
+        ]
+        for r in REPLICAS
+    }
+    same_sets = len({frozenset(s) for s in udc_sequences.values()}) == 1
+    print(f"[UDC]  every replica applied the same set: {same_sets}")
+    udc_agree = show("[UDC]  per-replica orders and outcomes:", udc_sequences)
+
+    # --- atomic broadcast ----------------------------------------------------
+    ab_run = Executor(
+        REPLICAS,
+        uniform_protocol(AtomicBroadcastProcess),
+        workload=WORKLOAD,
+        detector=EventuallyWeakOracle(stabilization_tick=25),
+        config=ExecutionConfig(max_ticks=4000),
+        seed=3,
+    ).run()
+    ab_sequences = {r: deliveries(ab_run, r) for r in REPLICAS}
+    ab_agree = show("[ABCAST]  per-replica orders and outcomes:", ab_sequences)
+
+    print("takeaway: UDC guarantees the same command SET (non-repudiation)")
+    print("with detectors as weak as Table 1 allows; agreeing on ORDER is")
+    print("a consensus problem and inherits consensus's requirements")
+    udc_word = "agreed (lucky seed)" if udc_agree else "diverged"
+    ab_word = "agreed" if ab_agree else "DIVERGED (bug!)"
+    print(f"(UDC state agreement: {udc_word}; atomic broadcast: {ab_word})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment has setuptools without the ``wheel`` package,
+so PEP 660 editable installs fail; ``pip install -e .`` falls back to
+``setup.py develop`` when this file exists and no [build-system] table
+forces PEP 517.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: UDC protocols, properties, and the
+knowledge-based simulation theorems.
+
+* :mod:`repro.core.properties`  -- DC1-DC3 / DC2' checkers (Section 2.4).
+* :mod:`repro.core.protocols`   -- executable versions of every protocol
+  in the paper: nUDC (Prop 2.3), UDC over reliable channels (Prop 2.4),
+  UDC with strong detectors (Prop 3.1), UDC with t-useful generalized
+  detectors (Prop 4.1, Cor 4.2), and the ATD99 weakest-detector protocol
+  (Section 5).
+* :mod:`repro.core.simulation_theorem` -- the run transformations f
+  (P1-P3, Theorem 3.6) and f' (P3', Theorem 4.3), plus verification
+  helpers.
+* :mod:`repro.core.consensus`   -- Chandra-Toueg consensus baselines for
+  the consensus rows of Table 1.
+"""
+
+from repro.core.properties import (
+    actions_in,
+    dc1,
+    dc2,
+    dc2_prime,
+    dc3,
+    nudc_holds,
+    udc_holds,
+)
+from repro.core.protocols import (
+    AtdUDCProcess,
+    GeneralizedFDUDCProcess,
+    NUDCProcess,
+    ReliableUDCProcess,
+    StrongFDUDCProcess,
+)
+from repro.core.simulation_theorem import (
+    simulate_generalized_detectors,
+    simulate_perfect_detectors,
+    transform_run_f,
+    transform_run_f_prime,
+)
+
+__all__ = [
+    "AtdUDCProcess",
+    "GeneralizedFDUDCProcess",
+    "NUDCProcess",
+    "ReliableUDCProcess",
+    "StrongFDUDCProcess",
+    "actions_in",
+    "dc1",
+    "dc2",
+    "dc2_prime",
+    "dc3",
+    "nudc_holds",
+    "simulate_generalized_detectors",
+    "simulate_perfect_detectors",
+    "transform_run_f",
+    "transform_run_f_prime",
+    "udc_holds",
+]

@@ -1,0 +1,338 @@
+"""Atomic broadcast via repeated consensus (extension; CT96 reduction).
+
+The paper stresses what UDC does *not* give: "we are not concerned here
+with other requirements such as executing actions in a particular order
+(e.g., total-order multicast)".  UDC delivers the same *set* everywhere;
+ordering that set is exactly as hard as consensus (Chandra-Toueg's
+atomic-broadcast/consensus equivalence).  This module implements the
+classical reduction so the repository can *show* the gap:
+
+* messages are disseminated nUDC-style (gossip with acks);
+* a sequence of rotating-coordinator consensus instances agrees, batch
+  by batch, on the delivery order: instance k's proposal is the
+  proposer's current undelivered set, the decision is delivered in a
+  deterministic order, then instance k+1 starts.
+
+Requirements are therefore consensus's: a majority of correct processes
+and a <>S detector -- strictly more than the same dissemination needs
+for plain UDC, which is the point.
+
+Deliveries are recorded as ``do_p(("adeliver", payload))`` events;
+:func:`check_atomic_broadcast` verifies validity, uniform agreement,
+integrity, and total order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detectors.properties import PropertyVerdict
+from repro.model.events import DoEvent, Message, ProcessId, StandardSuspicion, Suspicion
+from repro.model.run import Run
+from repro.sim.process import ProcessEnv, ProtocolProcess
+
+GOSSIP = "ab-msg"
+P1 = "ab-p1"
+P2 = "ab-p2"
+ACK = "ab-ack"
+NACK = "ab-nack"
+DECIDE = "ab-dec"
+
+
+def deliver_action(payload) -> tuple:
+    """The do-event action recording an a-delivery."""
+    return ("adeliver", payload)
+
+
+@dataclass
+class _Instance:
+    """One consensus instance (rotating coordinator, majority quorums)."""
+
+    number: int
+    estimate: tuple = ()
+    ts: int = 0
+    round: int = 0
+    decided: tuple | None = None
+    proposed: bool = False
+    estimates: dict[int, dict[ProcessId, tuple]] = field(default_factory=dict)
+    acks: dict[int, set[ProcessId]] = field(default_factory=dict)
+    nacks: dict[int, set[ProcessId]] = field(default_factory=dict)
+    sent_p2: set[int] = field(default_factory=set)
+    sent_p1: set[int] = field(default_factory=set)
+    replied: set[int] = field(default_factory=set)
+
+
+class AtomicBroadcastProcess(ProtocolProcess):
+    """Total-order (atomic) broadcast for t < n/2 with a <>S detector."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        env: ProcessEnv,
+        *,
+        max_instances: int = 12,
+        max_rounds: int = 60,
+        resend_interval: int = 3,
+        resend_rounds: int = 10,
+    ) -> None:
+        super().__init__(pid, env)
+        self.max_instances = max_instances
+        self.max_rounds = max_rounds
+        self.resend_interval = resend_interval
+        self.resend_rounds = resend_rounds
+        self.known: set = set()       # payloads gossiped to us
+        self.delivered: list = []     # in delivery order
+        self.delivered_set: set = set()
+        self.instances: dict[int, _Instance] = {}
+        self.current = 1
+        self.pending_batches: dict[int, tuple] = {}  # decided, awaiting payloads
+        self.current_suspects: frozenset[ProcessId] = frozenset()
+        self._outgoing: dict[tuple, list] = {}
+        self._last_pace = -(10**9)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _emit(self, target: ProcessId, message: Message, key: tuple) -> None:
+        if key in self._outgoing:
+            return
+        self._outgoing[key] = [target, message, self.resend_rounds - 1]
+        self.env.send(target, message)
+
+    def _pace(self) -> None:
+        if self.env.now - self._last_pace < self.resend_interval:
+            return
+        sent = False
+        for entry in self._outgoing.values():
+            if entry[2] > 0:
+                entry[2] -= 1
+                self.env.send(entry[0], entry[1])
+                sent = True
+        if sent:
+            self._last_pace = self.env.now
+
+    def _instance(self, k: int) -> _Instance:
+        inst = self.instances.get(k)
+        if inst is None:
+            inst = _Instance(number=k)
+            self.instances[k] = inst
+        return inst
+
+    def _coordinator(self, inst: _Instance) -> ProcessId:
+        return self.env.processes[inst.round % len(self.env.processes)]
+
+    def _majority(self) -> int:
+        return len(self.env.processes) // 2 + 1
+
+    # -- hooks --------------------------------------------------------------------
+
+    def on_init(self, action) -> None:
+        """A-broadcast: the action's payload enters dissemination."""
+        self._learn(action)
+        self._drive()
+
+    def on_suspect(self, report: Suspicion) -> None:
+        if isinstance(report, StandardSuspicion):
+            self.current_suspects = report.suspects
+            self._drive()
+
+    def on_receive(self, sender: ProcessId, message: Message) -> None:
+        kind = message.kind
+        if kind == GOSSIP:
+            self._learn(message.payload)
+        elif kind == DECIDE:
+            k, batch = message.payload
+            self._record_decision(k, batch)
+        elif kind == P1:
+            k, rnd, est, ts = message.payload
+            inst = self._instance(k)
+            inst.estimates.setdefault(rnd, {})[sender] = (est, ts)
+        elif kind == P2:
+            k, rnd, est = message.payload
+            inst = self._instance(k)
+            if rnd >= inst.round and rnd not in inst.replied:
+                inst.estimate = est
+                inst.ts = rnd
+                inst.replied.add(rnd)
+                self._emit(
+                    self.env.processes[rnd % len(self.env.processes)],
+                    Message(ACK, (k, rnd)),
+                    ("ack", k, rnd),
+                )
+                inst.round = max(inst.round, rnd + 1)
+        elif kind == ACK:
+            k, rnd = message.payload
+            self._instance(k).acks.setdefault(rnd, set()).add(sender)
+        elif kind == NACK:
+            k, rnd = message.payload
+            self._instance(k).nacks.setdefault(rnd, set()).add(sender)
+        self._drive()
+
+    def on_tick(self) -> None:
+        self._drive()
+        self._pace()
+
+    def wants_to_act(self) -> bool:
+        return any(entry[2] > 0 for entry in self._outgoing.values())
+
+    # -- dissemination ----------------------------------------------------------------
+
+    def _learn(self, payload) -> None:
+        if payload in self.known:
+            return
+        self.known.add(payload)
+        for q in self.env.others:
+            self._emit(q, Message(GOSSIP, payload), ("g", payload, q))
+
+    # -- ordering ----------------------------------------------------------------------
+
+    def _undelivered(self) -> tuple:
+        return tuple(sorted(p for p in self.known if p not in self.delivered_set))
+
+    def _record_decision(self, k: int, batch: tuple) -> None:
+        inst = self._instance(k)
+        if inst.decided is None:
+            inst.decided = batch
+            for q in self.env.others:
+                self._emit(q, Message(DECIDE, (k, batch)), ("dec", k, q))
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        """Deliver decided batches in instance order, once payloads are known."""
+        while True:
+            inst = self.instances.get(self.current)
+            if inst is None or inst.decided is None:
+                return
+            batch = inst.decided
+            if not set(batch) <= self.known:
+                return  # gossip still in flight; R5 will bring it
+            for payload in batch:
+                if payload not in self.delivered_set:
+                    self.delivered_set.add(payload)
+                    self.delivered.append(payload)
+                    self.env.perform(deliver_action(payload))
+            self.current += 1
+
+    # -- the consensus engine ------------------------------------------------------------
+
+    def _drive(self) -> None:
+        self._try_deliver()
+        k = self.current
+        if k > self.max_instances:
+            return
+        inst = self._instance(k)
+        if inst.decided is not None:
+            return
+        if not inst.proposed:
+            proposal = self._undelivered()
+            if not proposal:
+                return  # nothing to order yet
+            inst.proposed = True
+            inst.estimate = proposal
+
+        progressed = True
+        while progressed and inst.round < self.max_rounds and inst.decided is None:
+            progressed = False
+            rnd = inst.round
+            coord = self._coordinator(inst)
+            if coord == self.pid:
+                inst.estimates.setdefault(rnd, {})[self.pid] = (
+                    inst.estimate,
+                    inst.ts,
+                )
+            elif rnd not in inst.sent_p1:
+                inst.sent_p1.add(rnd)
+                self._emit(
+                    coord,
+                    Message(P1, (k, rnd, inst.estimate, inst.ts)),
+                    ("p1", k, rnd),
+                )
+
+            if coord == self.pid:
+                ests = inst.estimates.setdefault(rnd, {})
+                acks = inst.acks.setdefault(rnd, set())
+                nacks = inst.nacks.setdefault(rnd, set())
+                if rnd not in inst.sent_p2 and len(ests) >= self._majority():
+                    best_est, _ = max(ests.values(), key=lambda et: et[1])
+                    inst.sent_p2.add(rnd)
+                    inst.estimate = best_est
+                    inst.ts = rnd
+                    acks.add(self.pid)
+                    inst.replied.add(rnd)
+                    for q in self.env.others:
+                        self._emit(
+                            q, Message(P2, (k, rnd, best_est)), ("p2", k, rnd, q)
+                        )
+                if rnd in inst.sent_p2:
+                    if len(acks) >= self._majority():
+                        self._record_decision(k, inst.estimate)
+                        return
+                    if nacks and len(acks) + len(nacks) >= self._majority():
+                        inst.round += 1
+                        progressed = True
+            else:
+                if rnd not in inst.replied and coord in self.current_suspects:
+                    inst.replied.add(rnd)
+                    self._emit(coord, Message(NACK, (k, rnd)), ("nack", k, rnd))
+                    inst.round += 1
+                    progressed = True
+
+
+# ---------------------------------------------------------------------------
+# Property checkers
+# ---------------------------------------------------------------------------
+
+
+def deliveries(run: Run, process: ProcessId) -> list:
+    """The payloads a process a-delivered, in its local order."""
+    return [
+        e.action[1]
+        for e in run.final_history(process).events_of_type(DoEvent)
+        if e.action[0] == "adeliver"
+    ]
+
+
+def check_atomic_broadcast(run: Run, broadcasts: set) -> PropertyVerdict:
+    """Validity, uniform agreement, integrity, and total order."""
+    sequences = {p: deliveries(run, p) for p in run.processes}
+
+    # Integrity: unique, and only broadcast payloads.
+    for p, seq in sequences.items():
+        if len(seq) != len(set(seq)):
+            return PropertyVerdict.fail(f"{p} delivered a payload twice")
+        if not set(seq) <= broadcasts:
+            return PropertyVerdict.fail(f"{p} delivered a never-broadcast payload")
+
+    # Uniform agreement: anything delivered anywhere is delivered by all
+    # correct processes.
+    delivered_anywhere = set().union(*(set(s) for s in sequences.values()))
+    for p in sorted(run.correct()):
+        missing = delivered_anywhere - set(sequences[p])
+        if missing:
+            return PropertyVerdict.fail(
+                f"correct {p} missed deliveries {sorted(missing)}"
+            )
+
+    # Total order: every pair of sequences agrees on the order of their
+    # common prefix -- one is a prefix of the other for correct pairs,
+    # and crashed processes' sequences are prefixes of the common order.
+    correct = sorted(run.correct())
+    if correct:
+        reference = sequences[correct[0]]
+        for p, seq in sequences.items():
+            n = len(seq)
+            if seq != reference[:n]:
+                return PropertyVerdict.fail(
+                    f"{p}'s delivery order {seq} diverges from {reference}"
+                )
+
+    # Validity: a correct broadcaster's payloads are delivered.
+    # (Broadcast = the initiator's init event; payload = the action.)
+    from repro.model.events import InitEvent
+
+    for p in sorted(run.correct()):
+        for e in run.final_history(p).events_of_type(InitEvent):
+            if e.action in broadcasts and e.action not in set(sequences[p]):
+                return PropertyVerdict.fail(
+                    f"correct broadcaster {p}'s payload {e.action!r} undelivered"
+                )
+    return PropertyVerdict.ok()

@@ -1,0 +1,22 @@
+"""Experiment harness: one runnable experiment per claim of the paper.
+
+* :mod:`repro.harness.results`     -- result records and text rendering.
+* :mod:`repro.harness.experiments` -- E01-E12 and ablations A13-A15
+  (see DESIGN.md Section 4 for the index).
+* :mod:`repro.harness.table1`      -- regenerates Table 1.
+
+Run everything with ``python -m repro.harness``.
+"""
+
+from repro.harness.results import ExperimentResult, render_result
+from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.harness.table1 import build_table1, render_table1
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "build_table1",
+    "render_result",
+    "render_table1",
+    "run_experiment",
+]

@@ -1,0 +1,37 @@
+"""Run every experiment and print the report: ``python -m repro.harness``."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.results import render_result
+from repro.harness.table1 import build_table1, render_table1, run_e09
+
+
+def main(argv: list[str]) -> int:
+    """Run the requested experiments (all by default) and print results."""
+    wanted = [a.upper() for a in argv] or [*ALL_EXPERIMENTS, "E09"]
+    failed = 0
+    for exp_id in wanted:
+        start = time.perf_counter()
+        if exp_id == "E09":
+            result = run_e09()
+        else:
+            result = ALL_EXPERIMENTS[exp_id]()
+        elapsed = time.perf_counter() - start
+        print(render_result(result))
+        print(f"    ({elapsed:.1f}s)\n")
+        if not result.passed:
+            failed += 1
+        if exp_id == "E09":
+            print(render_table1(build_table1()))
+            print()
+    total = len(wanted)
+    print(f"{total - failed}/{total} experiments passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,60 @@
+"""Experiment result records and plain-text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment.
+
+    ``passed`` is the headline verdict: did the measured behaviour match
+    the paper's claim (including the *negative* halves -- a protocol
+    that is supposed to fail without its detector must actually fail)?
+    ``rows`` are printable (label, value) pairs; ``details`` carries raw
+    numbers for the benchmarks and tests.
+    """
+
+    exp_id: str
+    title: str
+    claim: str
+    passed: bool
+    rows: list[tuple[str, str]] = field(default_factory=list)
+    details: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def row(self, label: str, value) -> None:
+        """Append one printable (label, value) line."""
+        self.rows.append((label, str(value)))
+
+    def require(self, condition: bool, label: str) -> bool:
+        """Record a named sub-check; any failure fails the experiment."""
+        self.rows.append((label, "PASS" if condition else "FAIL"))
+        if not condition:
+            self.passed = False
+        return condition
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render one experiment result as indented text."""
+    status = "PASS" if result.passed else "FAIL"
+    lines = [
+        f"[{result.exp_id}] {result.title} ... {status}",
+        f"    claim: {result.claim}",
+    ]
+    width = max((len(label) for label, _ in result.rows), default=0)
+    for label, value in result.rows:
+        lines.append(f"    {label.ljust(width)}  {value}")
+    if result.notes:
+        lines.append(f"    note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_results(results: Sequence[ExperimentResult]) -> str:
+    """Render many results plus a pass-count summary."""
+    parts = [render_result(r) for r in results]
+    passed = sum(1 for r in results if r.passed)
+    parts.append(f"\n{passed}/{len(results)} experiments passed")
+    return "\n\n".join(parts)

@@ -1,0 +1,155 @@
+"""Quantitative run metrics: message cost, latency, detection delay.
+
+The paper reports no measurements (it is a theory paper), so these
+metrics characterise the *implementation*: what each protocol costs in
+messages and time, how fast knowledge-grade detection happens, and how
+the costs scale with the system size and the channel's hostility.  The
+cost benchmarks (benchmarks/test_bench_s01/s02) print these series as
+the repository's supplementary figures.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.model.events import (
+    ActionId,
+    DoEvent,
+    InitEvent,
+    ProcessId,
+    ReceiveEvent,
+    SendEvent,
+    SuspectEvent,
+)
+from repro.model.run import Run
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Aggregate metrics of one run."""
+
+    duration: int
+    sends: int
+    receives: int
+    delivery_ratio: float
+    suspect_events: int
+    do_events: int
+    faulty: int
+
+    @classmethod
+    def of(cls, run: Run) -> "RunStats":
+        sends = receives = suspects = dos = 0
+        for p in run.processes:
+            for event in run.events(p):
+                if isinstance(event, SendEvent):
+                    sends += 1
+                elif isinstance(event, ReceiveEvent):
+                    receives += 1
+                elif isinstance(event, SuspectEvent):
+                    suspects += 1
+                elif isinstance(event, DoEvent):
+                    dos += 1
+        return cls(
+            duration=run.duration,
+            sends=sends,
+            receives=receives,
+            delivery_ratio=receives / sends if sends else 1.0,
+            suspect_events=suspects,
+            do_events=dos,
+            faulty=len(run.faulty()),
+        )
+
+
+def action_latency(run: Run, action: ActionId) -> dict[ProcessId, int]:
+    """Ticks from the action's init to each process's do of it."""
+    init_t = None
+    for p in run.processes:
+        for t, event in run.timeline(p):
+            if isinstance(event, InitEvent) and event.action == action:
+                init_t = t
+                break
+        if init_t is not None:
+            break
+    if init_t is None:
+        return {}
+    latencies = {}
+    for p in run.processes:
+        for t, event in run.timeline(p):
+            if isinstance(event, DoEvent) and event.action == action:
+                latencies[p] = t - init_t
+                break
+    return latencies
+
+
+def completion_latency(run: Run, action: ActionId) -> int | None:
+    """Ticks until the LAST correct process performs the action."""
+    latencies = action_latency(run, action)
+    correct = [latencies[p] for p in run.correct() if p in latencies]
+    if len(correct) < len(run.correct()):
+        return None  # some correct process never performed
+    return max(correct, default=None)
+
+
+def detection_latency(run: Run, *, derived: bool = False) -> dict[ProcessId, int]:
+    """Per crashed process: ticks from crash to first suspicion by any
+    correct process."""
+    out: dict[ProcessId, int] = {}
+    for q in sorted(run.faulty()):
+        crash_t = run.crash_time(q)
+        first = None
+        for p in run.correct():
+            for t, event in run.timeline(p):
+                if (
+                    isinstance(event, SuspectEvent)
+                    and event.derived == derived
+                    and hasattr(event.report, "suspects")
+                    and q in event.report.suspects
+                    and t >= crash_t
+                ):
+                    first = t if first is None else min(first, t)
+                    break
+        if first is not None:
+            out[q] = first - crash_t
+    return out
+
+
+def messages_per_action(run: Run) -> float:
+    """Total sends divided by the number of initiated actions."""
+    stats = RunStats.of(run)
+    actions = sum(
+        1
+        for p in run.processes
+        for e in run.events(p)
+        if isinstance(e, InitEvent)
+    )
+    return stats.sends / actions if actions else float(stats.sends)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One point of a cost curve."""
+
+    x: float
+    mean: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, x: float, samples: list[float]) -> "SeriesPoint":
+        return cls(
+            x=x,
+            mean=statistics.fmean(samples),
+            minimum=min(samples),
+            maximum=max(samples),
+        )
+
+
+def render_series(title: str, xlabel: str, ylabel: str, points: list[SeriesPoint]) -> str:
+    """Plain-text rendering of a cost curve (our 'figures')."""
+    lines = [f"{title}", f"  {xlabel:>10}  {ylabel} (mean [min..max])"]
+    for pt in points:
+        lines.append(
+            f"  {pt.x:>10.3g}  {pt.mean:10.2f}  [{pt.minimum:.2f} .. {pt.maximum:.2f}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Human-readable run traces.
+
+``render_run`` prints a run as one line per event, time-ordered, with
+per-process columns -- the fastest way to see what a protocol actually
+did.  ``summarize_run`` gives the one-paragraph version used by the
+examples and failure messages.
+"""
+
+from __future__ import annotations
+
+from repro.model.events import (
+    CrashEvent,
+    DoEvent,
+    Event,
+    GeneralizedSuspicion,
+    InitEvent,
+    ReceiveEvent,
+    SendEvent,
+    StandardSuspicion,
+    SuspectEvent,
+)
+from repro.model.run import Run
+
+
+def describe_event(event: Event) -> str:
+    """One-token rendering of a history event."""
+    if isinstance(event, SendEvent):
+        return f"send({event.receiver}, {event.message.kind})"
+    if isinstance(event, ReceiveEvent):
+        return f"recv({event.sender}, {event.message.kind})"
+    if isinstance(event, InitEvent):
+        return f"init({event.action!r})"
+    if isinstance(event, DoEvent):
+        return f"do({event.action!r})"
+    if isinstance(event, CrashEvent):
+        return "CRASH"
+    if isinstance(event, SuspectEvent):
+        report = event.report
+        prefix = "suspect'" if event.derived else "suspect"
+        if isinstance(report, StandardSuspicion):
+            body = "{" + ",".join(sorted(report.suspects)) + "}"
+        elif isinstance(report, GeneralizedSuspicion):
+            body = "({" + ",".join(sorted(report.suspects)) + "}, " + str(report.count) + ")"
+        else:  # pragma: no cover - future report types
+            body = repr(report)
+        return f"{prefix}{body}"
+    return repr(event)  # pragma: no cover - exhaustive above
+
+
+def render_run(
+    run: Run,
+    *,
+    limit: int | None = None,
+    include_sends: bool = True,
+) -> str:
+    """Render the run as a time-ordered event table."""
+    col_width = max(
+        18, max((len(describe_event(e)) for p in run.processes for e in run.events(p)), default=18) + 1
+    )
+    header = "time  " + "".join(p.ljust(col_width) for p in run.processes)
+    lines = [header, "-" * len(header)]
+    count = 0
+    events_at: dict[int, dict[str, Event]] = {}
+    for p in run.processes:
+        for t, e in run.timeline(p):
+            if not include_sends and isinstance(e, SendEvent):
+                continue
+            events_at.setdefault(t, {})[p] = e
+    for t in sorted(events_at):
+        row = f"{t:>4}  "
+        for p in run.processes:
+            e = events_at[t].get(p)
+            cell = describe_event(e) if e is not None else ""
+            row += cell.ljust(col_width)
+        lines.append(row.rstrip())
+        count += 1
+        if limit is not None and count >= limit:
+            lines.append(f"... ({len(events_at) - count} more ticks)")
+            break
+    return "\n".join(lines)
+
+
+def summarize_run(run: Run) -> str:
+    """One-paragraph run summary."""
+    total = sum(1 for p in run.processes for _ in run.events(p))
+    kinds: dict[str, int] = {}
+    for p in run.processes:
+        for e in run.events(p):
+            name = type(e).__name__.removesuffix("Event").lower()
+            kinds[name] = kinds.get(name, 0) + 1
+    faulty = ", ".join(sorted(run.faulty())) or "none"
+    breakdown = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    return (
+        f"{len(run.processes)} processes, duration {run.duration}, "
+        f"{total} events ({breakdown}); faulty: {faulty}"
+    )

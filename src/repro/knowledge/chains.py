@@ -1,0 +1,184 @@
+"""Message chains and the knowledge-gain principle (footnote 5, Section 3).
+
+The paper's A4 discussion rests on *message chains*: there is a chain
+from p to q between times m_p and m iff there are messages
+msg_1, ..., msg_k and processes p_1, ..., p_{k+1} with
+
+  (a) msg_i sent by p_i to p_{i+1} and received,
+  (b) p_{i+1} sends msg_{i+1} after receiving msg_i,
+  (c) p = p_1, (d) q = p_{k+1},
+  (e) p sends msg_1 at or after m_p, and
+  (f) q receives msg_k at or before m.
+
+This module decides chain existence by reachability over the run's
+event graph (local successor edges plus matched send->receive edges;
+receives are matched to the earliest compatible unmatched send, which
+R3 guarantees exists), and ships the classical *knowledge gain*
+principle as a checkable property: in any system, if q learns a stable
+fact local to p that became true at m_p, there is a message chain from
+p to q starting at or after... strictly speaking starting no earlier
+than the fact's truth could be transmitted; the executable form checked
+in the tests is
+
+    K_q(phi) at (r, m)  and  q != p   implies
+    a message chain from (p, m_p) to (q, m),
+
+for phi stable, local to p, first true at m_p.  Its converse holds for
+full-information protocols (:mod:`repro.sim.fip`): a chain from p after
+m_p *delivers* knowledge of phi.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.model.events import ProcessId, ReceiveEvent, SendEvent
+from repro.model.run import Run
+
+
+def match_sends_to_receives(
+    run: Run,
+) -> dict[tuple[ProcessId, int], tuple[ProcessId, int]]:
+    """Map each receive event (receiver, time) to its matched send
+    (sender, time): the earliest unmatched compatible send (FIFO per
+    message value, which R3 makes well-defined)."""
+    # Collect sends per (sender, receiver, message), in time order.
+    sends: dict[tuple, deque[int]] = defaultdict(deque)
+    for p in run.processes:
+        for t, event in run.timeline(p):
+            if isinstance(event, SendEvent):
+                sends[(event.sender, event.receiver, event.message)].append(t)
+    matching: dict[tuple[ProcessId, int], tuple[ProcessId, int]] = {}
+    # Receives in global time order, matched greedily.
+    receives = [
+        (t, event)
+        for p in run.processes
+        for t, event in run.timeline(p)
+        if isinstance(event, ReceiveEvent)
+    ]
+    receives.sort(key=lambda te: te[0])
+    for t, event in receives:
+        key = (event.sender, event.receiver, event.message)
+        queue = sends.get(key)
+        if not queue:
+            continue  # ill-formed run; validator would have flagged it
+        send_t = queue.popleft()
+        matching[(event.receiver, t)] = (event.sender, send_t)
+    return matching
+
+
+def has_message_chain(
+    run: Run,
+    source: ProcessId,
+    from_time: int,
+    target: ProcessId,
+    to_time: int,
+) -> bool:
+    """Decide footnote 5's chain relation from (source, from_time) to
+    (target, <= to_time).  A trivial chain (source == target) counts."""
+    if source == target:
+        return from_time <= to_time
+    matching = match_sends_to_receives(run)
+    # BFS over (process, time-of-knowledge) states: from a state (p, t)
+    # every send by p at time >= t that is received at r_t <= to_time
+    # moves knowledge to (receiver, r_t).
+    receive_of_send: dict[tuple[ProcessId, int], tuple[ProcessId, int]] = {}
+    for (recv_p, recv_t), (send_p, send_t) in matching.items():
+        receive_of_send[(send_p, send_t)] = (recv_p, recv_t)
+
+    sends_by_process: dict[ProcessId, list[int]] = defaultdict(list)
+    for p in run.processes:
+        for t, event in run.timeline(p):
+            if isinstance(event, SendEvent):
+                sends_by_process[p].append(t)
+
+    best_arrival: dict[ProcessId, int] = {source: from_time}
+    frontier = deque([source])
+    while frontier:
+        p = frontier.popleft()
+        arrival = best_arrival[p]
+        for send_t in sends_by_process.get(p, ()):
+            if send_t < arrival:
+                continue
+            hop = receive_of_send.get((p, send_t))
+            if hop is None:
+                continue
+            q, recv_t = hop
+            if recv_t > to_time:
+                continue
+            if q == target:
+                return True
+            if recv_t < best_arrival.get(q, to_time + 1):
+                best_arrival[q] = recv_t
+                frontier.append(q)
+    return False
+
+
+def chain_closure(
+    run: Run, source: ProcessId, from_time: int, to_time: int
+) -> dict[ProcessId, int]:
+    """Earliest time each process is reachable by a chain from
+    (source, from_time), within to_time.  Includes the source itself."""
+    result = {source: from_time}
+    matching = match_sends_to_receives(run)
+    receive_of_send = {
+        (send_p, send_t): (recv_p, recv_t)
+        for (recv_p, recv_t), (send_p, send_t) in matching.items()
+    }
+    sends_by_process: dict[ProcessId, list[int]] = defaultdict(list)
+    for p in run.processes:
+        for t, event in run.timeline(p):
+            if isinstance(event, SendEvent):
+                sends_by_process[p].append(t)
+    frontier = deque([source])
+    while frontier:
+        p = frontier.popleft()
+        arrival = result[p]
+        for send_t in sends_by_process.get(p, ()):
+            if send_t < arrival:
+                continue
+            hop = receive_of_send.get((p, send_t))
+            if hop is None:
+                continue
+            q, recv_t = hop
+            if recv_t > to_time:
+                continue
+            if recv_t < result.get(q, to_time + 1):
+                result[q] = recv_t
+                frontier.append(q)
+    return result
+
+
+def knowledge_gain_violations(
+    system,
+    checker,
+    fact,
+    owner: ProcessId,
+    first_true,
+) -> list[tuple]:
+    """Check the knowledge-gain principle over a system.
+
+    ``fact`` is a formula stable and local to ``owner``; ``first_true``
+    maps a run to the first time the fact holds there (None if never).
+    Returns the violations: (run_index, observer, time) triples where
+    the observer knows the fact without any message chain from the
+    owner since it became true.
+    """
+    from repro.knowledge.formulas import Knows
+    from repro.model.run import Point
+
+    violations = []
+    for i, run in enumerate(system):
+        m0 = first_true(run)
+        if m0 is None:
+            continue
+        for q in run.processes:
+            if q == owner:
+                continue
+            # Find the first time q knows the fact, if any.
+            for m in range(run.duration + 1):
+                if checker.holds(Knows(q, fact), Point(run, m)):
+                    if not has_message_chain(run, owner, m0, q, m):
+                        violations.append((i, q, m))
+                    break
+    return violations

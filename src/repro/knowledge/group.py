@@ -1,0 +1,150 @@
+"""Group knowledge: E_G, E_G^k, distributed and common knowledge (FHMV95).
+
+The paper's toolbox (Fagin-Halpern-Moses-Vardi) includes group
+operators the UDC analysis implicitly leans on:
+
+* ``E_G phi``  -- everyone in G knows phi;
+* ``E_G^k``    -- k-fold iteration ("everyone knows that everyone
+  knows ... (k times)");
+* ``D_G phi``  -- distributed knowledge: phi holds at every point that
+  *no member* of G can distinguish (footnote 4 of the paper invokes
+  exactly this notion when discussing A4);
+* ``C_G phi``  -- common knowledge: the greatest fixpoint of
+  ``X = E_G(phi and X)``; over a finite system it is computed by
+  iterating E_G to a fixpoint.
+
+The famous coordinated-attack connection: with unreliable
+communication, common knowledge of a new fact is *unattainable* --
+every E^k level can be climbed with k message exchanges, but C never
+arrives.  That is the deep reason the paper's UDC (which needs only
+"some correct process knows", Prop 3.5) is attainable where
+simultaneous coordination is not; experiment E14 demonstrates both
+halves on generated ensembles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.knowledge.formulas import And, Formula, Knows
+from repro.knowledge.semantics import ModelChecker
+from repro.model.events import ProcessId
+from repro.model.run import Point
+
+
+def everyone_knows(group: Sequence[ProcessId], formula: Formula) -> Formula:
+    """E_G phi as a plain formula (so it composes with the AST)."""
+    return And(*[Knows(p, formula) for p in group])
+
+
+def e_iterated(group: Sequence[ProcessId], formula: Formula, depth: int) -> Formula:
+    """E_G^depth phi; depth = 0 is phi itself."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    current = formula
+    for _ in range(depth):
+        current = everyone_knows(group, current)
+    return current
+
+
+class GroupChecker:
+    """Semantic group-knowledge queries over one finite system.
+
+    Distributed and common knowledge are *not* expressible as finite
+    formulas in general, so they are computed semantically here rather
+    than as AST nodes.
+    """
+
+    def __init__(self, checker: ModelChecker) -> None:
+        self.checker = checker
+        self.system = checker.system
+
+    # -- distributed knowledge -------------------------------------------------
+
+    def distributed_knowledge(
+        self, group: Sequence[ProcessId], formula: Formula, point: Point
+    ) -> bool:
+        """D_G phi at (r, m): phi holds at every point indistinguishable
+        from (r, m) by ALL members of G simultaneously (the intersection
+        of the ~_p relations)."""
+        group = list(group)
+        if not group:
+            raise ValueError("group must be non-empty")
+        candidates = self.system.indistinguishable_points(group[0], point)
+        for candidate in candidates:
+            if all(
+                candidate.history(p) == point.history(p) for p in group[1:]
+            ):
+                if not self.checker.holds(formula, candidate):
+                    return False
+        return True
+
+    # -- common knowledge --------------------------------------------------------
+
+    def common_knowledge_points(
+        self, group: Sequence[ProcessId], formula: Formula
+    ) -> set[tuple[int, int]]:
+        """The set of points (run_index, time) where C_G phi holds.
+
+        Computed as the greatest fixpoint of X = E_G(phi and X) by
+        iterated refinement over the finite point space: start from the
+        points satisfying phi, repeatedly remove points some member of
+        G considers possibly-outside, until stable.
+        """
+        runs = list(self.system.runs)
+        index = {run: i for i, run in enumerate(runs)}
+        # Start from all points satisfying phi.
+        current: set[tuple[int, int]] = set()
+        for i, run in enumerate(runs):
+            for m in range(run.duration + 1):
+                if self.checker.holds(formula, Point(run, m)):
+                    current.add((i, m))
+        changed = True
+        while changed:
+            changed = False
+            for i, m in list(current):
+                point = Point(runs[i], m)
+                for p in self.system.processes:
+                    if p not in group:
+                        continue
+                    for candidate in self.system.indistinguishable_points(p, point):
+                        key = (index[candidate.run], min(candidate.time, candidate.run.duration))
+                        if key not in current:
+                            current.discard((i, m))
+                            changed = True
+                            break
+                    if (i, m) not in current:
+                        break
+        return current
+
+    def common_knowledge(
+        self, group: Sequence[ProcessId], formula: Formula, point: Point
+    ) -> bool:
+        """C_G phi at a point (fixpoint semantics)."""
+        points = self.common_knowledge_points(group, formula)
+        runs = list(self.system.runs)
+        try:
+            i = runs.index(point.run)
+        except ValueError:
+            raise ValueError("point's run is not in the system") from None
+        return (i, min(point.time, point.run.duration)) in points
+
+    # -- E^k climbing ----------------------------------------------------------------
+
+    def max_e_depth(
+        self,
+        group: Sequence[ProcessId],
+        formula: Formula,
+        point: Point,
+        *,
+        cap: int = 10,
+    ) -> int:
+        """The largest k <= cap with E_G^k phi true at the point."""
+        depth = 0
+        while depth < cap:
+            if not self.checker.holds(
+                e_iterated(group, formula, depth + 1), point
+            ):
+                break
+            depth += 1
+        return depth

@@ -1,0 +1,110 @@
+"""The specific formulas the paper reasons with.
+
+* :func:`prop_3_5` -- the epistemic precondition of Proposition 3.5:
+  before p can perform alpha, if p knows alpha was initiated and that
+  every process will either learn of the initiation or crash, then p
+  knows that (if anyone is correct) some *correct* process knows of the
+  initiation.
+* :func:`dc1_formula` / :func:`dc2_formula` / :func:`dc3_formula` --
+  DC1-DC3 as temporal formulas (Section 2.4), so they can be checked by
+  the epistemic model checker as validities; the fast path in
+  :mod:`repro.core.properties` must agree with them (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.knowledge.formulas import (
+    And,
+    Box,
+    Crashed,
+    Diamond,
+    Did,
+    Formula,
+    Implies,
+    Inited,
+    Knows,
+    Not,
+    Or,
+)
+from repro.model.events import ActionId, ProcessId
+from repro.workloads.generators import initiator_of
+
+
+def prop_3_5(
+    processes: Sequence[ProcessId],
+    p: ProcessId,
+    action: ActionId,
+) -> Formula:
+    """Proposition 3.5's validity, instantiated at observer ``p`` and one action.
+
+    K_p( init_{p'}(a) & AND_q <>(K_q init_{p'}(a) | crash(q)) )
+      =>  K_p( OR_q []~crash(q)  =>  OR_q (K_q init_{p'}(a) & []~crash(q)) )
+    """
+    p_prime = initiator_of(action)
+    init = Inited(p_prime, action)
+    antecedent = Knows(
+        p,
+        And(
+            init,
+            *[
+                Diamond(Or(Knows(q, init), Crashed(q)))
+                for q in processes
+            ],
+        ),
+    )
+    somebody_correct = Or(*[Box(Not(Crashed(q))) for q in processes])
+    some_correct_knows = Or(
+        *[
+            And(Knows(q, init), Box(Not(Crashed(q))))
+            for q in processes
+        ]
+    )
+    consequent = Knows(p, Implies(somebody_correct, some_correct_knows))
+    return Implies(antecedent, consequent)
+
+
+def dc1_formula(action: ActionId) -> Formula:
+    """DC1: init_p(alpha) => <>(do_p(alpha) | crash(p))."""
+    p = initiator_of(action)
+    return Implies(
+        Inited(p, action), Diamond(Or(Did(p, action), Crashed(p)))
+    )
+
+
+def dc2_formula(processes: Sequence[ProcessId], action: ActionId) -> Formula:
+    """DC2: AND_{q1,q2} (do_q1(alpha) => <>(do_q2(alpha) | crash(q2)))."""
+    clauses = [
+        Implies(Did(q1, action), Diamond(Or(Did(q2, action), Crashed(q2))))
+        for q1 in processes
+        for q2 in processes
+    ]
+    return And(*clauses)
+
+
+def dc2_prime_formula(processes: Sequence[ProcessId], action: ActionId) -> Formula:
+    """DC2': the non-uniform variant with the crash(q1) escape hatch."""
+    clauses = [
+        Implies(
+            Did(q1, action),
+            Diamond(Or(Did(q2, action), Crashed(q2), Crashed(q1))),
+        )
+        for q1 in processes
+        for q2 in processes
+    ]
+    return And(*clauses)
+
+
+def dc3_formula(processes: Sequence[ProcessId], action: ActionId) -> Formula:
+    """DC3: AND_{q2} (do_q2(alpha) => init_p(alpha))."""
+    p = initiator_of(action)
+    clauses = [
+        Implies(Did(q2, action), Inited(p, action)) for q2 in processes
+    ]
+    return And(*clauses)
+
+
+def knows_crashed(p: ProcessId, q: ProcessId) -> Formula:
+    """K_p crash(q): the P3 suspicion formula of Theorem 3.6."""
+    return Knows(p, Crashed(q))

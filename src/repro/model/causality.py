@@ -1,0 +1,132 @@
+"""Causal structure of runs: happens-before, consistent cuts (Lamport).
+
+The paper's cuts are *time* cuts (tuples of prefixes at one global
+time), which condition R3 makes automatically consistent: every receive
+inside the cut has its send inside.  This module makes the causal
+structure explicit:
+
+* :func:`causal_graph` -- the happens-before DAG over a run's events
+  (local-order edges plus matched send->receive edges), as a
+  :class:`networkx.DiGraph` for downstream analysis;
+* :func:`happens_before` -- Lamport's relation, by reachability;
+* :func:`is_consistent_cut` -- arbitrary per-process prefix vectors,
+  checked for causal closure;
+* :func:`lamport_timestamps` -- classic logical clocks, for tests and
+  traces.
+
+The message-chain relation of :mod:`repro.knowledge.chains` is the
+process-level projection of this graph; the property tests check the
+two agree.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.knowledge.chains import match_sends_to_receives
+from repro.model.events import ProcessId, ReceiveEvent, SendEvent
+from repro.model.run import Run
+
+#: A node is (process, tick): by R2 at most one event per process-tick.
+Node = tuple[ProcessId, int]
+
+
+def causal_graph(run: Run) -> "nx.DiGraph":
+    """The happens-before DAG of the run's events."""
+    graph = nx.DiGraph()
+    for p in run.processes:
+        previous: Node | None = None
+        for t, event in run.timeline(p):
+            node: Node = (p, t)
+            graph.add_node(node, event=event)
+            if previous is not None:
+                graph.add_edge(previous, node, kind="local")
+            previous = node
+    for (recv_p, recv_t), (send_p, send_t) in match_sends_to_receives(run).items():
+        graph.add_edge((send_p, send_t), (recv_p, recv_t), kind="message")
+    return graph
+
+
+def happens_before(run: Run, a: Node, b: Node) -> bool:
+    """Lamport's happened-before: a path in the causal graph (strict)."""
+    graph = causal_graph(run)
+    if a not in graph or b not in graph:
+        raise KeyError(f"no event at {a!r} or {b!r}")
+    return a != b and nx.has_path(graph, a, b)
+
+
+def concurrent(run: Run, a: Node, b: Node) -> bool:
+    """Neither happens before the other."""
+    graph = causal_graph(run)
+    if a not in graph or b not in graph:
+        raise KeyError(f"no event at {a!r} or {b!r}")
+    if a == b:
+        return False
+    return not nx.has_path(graph, a, b) and not nx.has_path(graph, b, a)
+
+
+def is_consistent_cut(run: Run, frontier: dict[ProcessId, int]) -> bool:
+    """Is the per-process prefix vector causally closed?
+
+    ``frontier[p]`` is the number of events of p inside the cut.  The
+    cut is consistent iff every receive inside has its matched send
+    inside.
+    """
+    for p in run.processes:
+        count = frontier.get(p, 0)
+        if not 0 <= count <= len(run.timeline(p)):
+            raise ValueError(f"frontier for {p} out of range")
+    included: set[Node] = set()
+    for p in run.processes:
+        for t, _ in run.timeline(p)[: frontier.get(p, 0)]:
+            included.add((p, t))
+    matching = match_sends_to_receives(run)
+    for p in run.processes:
+        for t, event in run.timeline(p)[: frontier.get(p, 0)]:
+            if isinstance(event, ReceiveEvent):
+                send = matching.get((p, t))
+                if send is not None and send not in included:
+                    return False
+    return True
+
+
+def time_cut_frontier(run: Run, time: int) -> dict[ProcessId, int]:
+    """The frontier of the paper's cut r(time)."""
+    return {
+        p: sum(1 for t, _ in run.timeline(p) if t <= time)
+        for p in run.processes
+    }
+
+
+def lamport_timestamps(run: Run) -> dict[Node, int]:
+    """Classic Lamport clocks: C(b) > C(a) whenever a happens-before b."""
+    graph = causal_graph(run)
+    clocks: dict[Node, int] = {}
+    for node in nx.topological_sort(graph):
+        preds = [clocks[p] for p in graph.predecessors(node)]
+        clocks[node] = (max(preds) + 1) if preds else 1
+    return clocks
+
+
+def vector_timestamps(run: Run) -> dict[Node, dict[ProcessId, int]]:
+    """Vector clocks: V(a) < V(b) iff a happens-before b (the strong
+    clock condition Lamport clocks lack)."""
+    graph = causal_graph(run)
+    clocks: dict[Node, dict[ProcessId, int]] = {}
+    for node in nx.topological_sort(graph):
+        p, _ = node
+        merged = {q: 0 for q in run.processes}
+        for pred in graph.predecessors(node):
+            for q, value in clocks[pred].items():
+                if value > merged[q]:
+                    merged[q] = value
+        merged[p] += 1
+        clocks[node] = merged
+    return clocks
+
+
+def vector_less(
+    a: dict[ProcessId, int], b: dict[ProcessId, int]
+) -> bool:
+    """The strict vector order: a <= b pointwise and a != b."""
+    return all(a[q] <= b[q] for q in a) and a != b

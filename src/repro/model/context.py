@@ -1,0 +1,110 @@
+"""Contexts (Section 2.1).
+
+A context, for this paper, is (i) a bound on the number of processes
+that can fail, (ii) a specification of failure-detector properties, and
+(iii) a specification of communication properties.  A joint protocol run
+in a context generates a system: the set of all runs satisfying R1--R5
+and the context's constraints that are consistent with the protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.model.events import ProcessId
+
+
+class ChannelSemantics(enum.Enum):
+    """Communication guarantees of the context.
+
+    * ``RELIABLE``  -- every message sent to a correct process is
+      eventually delivered (used by Proposition 2.4).
+    * ``FAIR_LOSSY`` -- messages may be lost, but R5 holds: a message
+      sent infinitely often to a correct process is received infinitely
+      often.  This is the paper's default assumption.
+    * ``UNFAIR``    -- the adversary may drop everything; violates R5.
+      Only used by the fairness ablation (A14); systems generated under
+      it are *not* systems in the paper's sense.
+    """
+
+    RELIABLE = "reliable"
+    FAIR_LOSSY = "fair_lossy"
+    UNFAIR = "unfair"
+
+
+def make_process_ids(n: int) -> tuple[ProcessId, ...]:
+    """The canonical process set Proc = {p1, ..., pn}."""
+    if n < 1:
+        raise ValueError("a system needs at least one process")
+    return tuple(f"p{i}" for i in range(1, n + 1))
+
+
+@dataclass(frozen=True)
+class Context:
+    """The execution context a joint protocol runs in.
+
+    Parameters
+    ----------
+    processes:
+        The process set Proc.
+    failure_bound:
+        Maximum number of processes that may crash (the paper's ``t``).
+        ``None`` means no bound, i.e. t = n (all processes may fail).
+    channels:
+        Communication semantics; see :class:`ChannelSemantics`.
+    detector:
+        Name of the failure-detector class available in this context
+        (``None`` if no detector); purely descriptive -- the executor
+        binds the actual oracle.
+    """
+
+    processes: tuple[ProcessId, ...]
+    failure_bound: int | None = None
+    channels: ChannelSemantics = ChannelSemantics.FAIR_LOSSY
+    detector: str | None = None
+    extra: tuple[tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(set(self.processes)) != len(self.processes):
+            raise ValueError("duplicate process identifiers")
+        if self.failure_bound is not None and not (
+            0 <= self.failure_bound <= len(self.processes)
+        ):
+            raise ValueError(
+                f"failure bound {self.failure_bound} out of range for "
+                f"{len(self.processes)} processes"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        n: int,
+        *,
+        failure_bound: int | None = None,
+        channels: ChannelSemantics = ChannelSemantics.FAIR_LOSSY,
+        detector: str | None = None,
+    ) -> "Context":
+        return cls(
+            processes=make_process_ids(n),
+            failure_bound=failure_bound,
+            channels=channels,
+            detector=detector,
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.processes)
+
+    @property
+    def t(self) -> int:
+        """The effective failure bound: n when unbounded."""
+        return self.failure_bound if self.failure_bound is not None else self.n
+
+    @property
+    def unbounded_failures(self) -> bool:
+        return self.failure_bound is None or self.failure_bound >= self.n
+
+    def majority_correct(self) -> bool:
+        """True iff fewer than half the processes can fail (t < n/2)."""
+        return 2 * self.t < self.n

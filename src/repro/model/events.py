@@ -1,0 +1,172 @@
+"""Event alphabet of the formal model (Section 2.1).
+
+Every entry in a process history is one of the event types defined here.
+The paper's events are:
+
+* ``send_p(q, msg)``   -- :class:`SendEvent`
+* ``recv_p(q, msg)``   -- :class:`ReceiveEvent`
+* ``do_p(alpha)``      -- :class:`DoEvent`
+* ``init_p(alpha)``    -- :class:`InitEvent`
+* ``crash_p``          -- :class:`CrashEvent`
+* ``suspect_p(x)``     -- :class:`SuspectEvent`, carrying either a
+  *standard* report ("the processes in S are faulty",
+  :class:`StandardSuspicion`) or a *generalized* report ("at least k
+  processes in S are faulty", :class:`GeneralizedSuspicion`, Section 4).
+
+All events are immutable and hashable so that histories (and therefore
+points) can be used as dictionary keys when building the
+indistinguishability index for knowledge evaluation.
+
+Process identifiers are plain strings (``"p1"``, ``"p2"``, ...).  Action
+identifiers are also strings; the paper requires the action sets ``A_p``
+to be disjoint, which callers realise by tagging actions with the
+initiator's name (see :class:`repro.core.actions.ActionId`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Union
+
+ProcessId = str
+ActionId = Hashable
+Payload = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """An application message.
+
+    ``kind`` is a short protocol-level tag (e.g. ``"alpha"``, ``"ack"``)
+    and ``payload`` is any hashable value.  Messages are compared by
+    value: retransmissions of the same logical message are *equal*, which
+    is exactly what the fairness condition R5 quantifies over ("if the
+    same message is sent ... infinitely often").
+    """
+
+    kind: str
+    payload: Payload = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.payload is None:
+            return f"Message({self.kind!r})"
+        return f"Message({self.kind!r}, {self.payload!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class SendEvent:
+    """``send_p(q, msg)``: process ``sender`` sends ``msg`` to ``receiver``."""
+
+    sender: ProcessId
+    receiver: ProcessId
+    message: Message
+
+    @property
+    def process(self) -> ProcessId:
+        return self.sender
+
+
+@dataclass(frozen=True, slots=True)
+class ReceiveEvent:
+    """``recv_q(p, msg)``: process ``receiver`` receives ``msg`` from ``sender``."""
+
+    receiver: ProcessId
+    sender: ProcessId
+    message: Message
+
+    @property
+    def process(self) -> ProcessId:
+        return self.receiver
+
+
+@dataclass(frozen=True, slots=True)
+class DoEvent:
+    """``do_p(alpha)``: process ``process`` performs coordination action ``action``."""
+
+    process: ProcessId
+    action: ActionId
+
+
+@dataclass(frozen=True, slots=True)
+class InitEvent:
+    """``init_p(alpha)``: process ``process`` initiates action ``action``.
+
+    The paper requires that ``init_p(alpha)`` appears only in p's history
+    and at most once per run; :func:`repro.model.run.validate_run`
+    enforces this.
+    """
+
+    process: ProcessId
+    action: ActionId
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """``crash_p``: the failure of ``process``.
+
+    By R4 this is always the last event in a history.
+    """
+
+    process: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class StandardSuspicion:
+    """A standard failure-detector report: "the processes in S are faulty"."""
+
+    suspects: frozenset[ProcessId]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.suspects, frozenset):
+            object.__setattr__(self, "suspects", frozenset(self.suspects))
+
+
+@dataclass(frozen=True, slots=True)
+class GeneralizedSuspicion:
+    """A generalized report (Section 4): "at least k processes in S are faulty".
+
+    The paper writes this ``suspect_p(S, k)`` with ``k <= |S|``.
+    """
+
+    suspects: frozenset[ProcessId]
+    count: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.suspects, frozenset):
+            object.__setattr__(self, "suspects", frozenset(self.suspects))
+        if not 0 <= self.count <= len(self.suspects):
+            raise ValueError(
+                f"generalized suspicion requires 0 <= k <= |S|, "
+                f"got k={self.count}, |S|={len(self.suspects)}"
+            )
+
+
+Suspicion = Union[StandardSuspicion, GeneralizedSuspicion]
+
+
+@dataclass(frozen=True, slots=True)
+class SuspectEvent:
+    """``suspect_p(x)``: process ``process`` gets report ``report`` from its detector.
+
+    ``derived`` distinguishes the *simulated* detector events
+    (``suspect'`` in the paper's P3/P3' constructions) from the original
+    oracle's events; the two kinds coexist in transformed runs and the
+    property checkers must not conflate them.
+    """
+
+    process: ProcessId
+    report: Suspicion
+    derived: bool = field(default=False)
+
+
+Event = Union[SendEvent, ReceiveEvent, DoEvent, InitEvent, CrashEvent, SuspectEvent]
+
+#: Event types that describe externally-visible protocol activity (used by
+#: the executor's quiescence detection: a tick in which only futile
+#: retransmissions occur makes no "progress").
+PROGRESS_EVENT_TYPES = (ReceiveEvent, DoEvent, InitEvent, CrashEvent, SuspectEvent)
+
+
+def event_process(event: Event) -> ProcessId:
+    """Return the process whose history the event belongs to."""
+    return event.process

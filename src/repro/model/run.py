@@ -1,0 +1,372 @@
+"""Runs, points, and the R1--R5 well-formedness conditions (Section 2.1).
+
+A run is a function from time (natural numbers) to cuts.  We represent a
+run compactly by each process's *timeline* -- the sequence of
+``(time, event)`` pairs at which its history grows -- together with a
+finite ``duration`` (the horizon up to which the run was observed).  By
+condition R2 a process appends at most one event per tick, so timelines
+have strictly increasing times.
+
+Finite-horizon convention
+-------------------------
+The paper's runs are infinite.  Our simulated runs are finite prefixes
+driven to *quiescence* (see :mod:`repro.sim.executor`); all temporal
+operators are evaluated with the convention that the final cut repeats
+forever.  This is exact for the stable formulas the paper's properties
+are built from (``send``, ``recv``, ``crash``, ``do``, ``init`` are all
+stable), and DESIGN.md Section 3 records the substitution.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.model.events import (
+    CrashEvent,
+    Event,
+    InitEvent,
+    ProcessId,
+    ReceiveEvent,
+    SendEvent,
+)
+from repro.model.history import Cut, History
+
+Timeline = tuple[tuple[int, Event], ...]
+
+
+class RunValidationError(ValueError):
+    """Raised when a run violates one of R1--R5."""
+
+
+class Run:
+    """A finite-horizon run: per-process timelines plus a duration.
+
+    ``meta`` carries executor ground truth (random seed, planned failure
+    set, detector class, ...) and is deliberately excluded from equality
+    and hashing: two runs are the same run iff they assign the same cut to
+    every time.
+    """
+
+    __slots__ = ("_processes", "_timelines", "_duration", "meta", "_hash", "_prefixes")
+
+    def __init__(
+        self,
+        processes: Iterable[ProcessId],
+        timelines: Mapping[ProcessId, Iterable[tuple[int, Event]]],
+        duration: int,
+        meta: dict | None = None,
+    ) -> None:
+        self._processes: tuple[ProcessId, ...] = tuple(processes)
+        self._timelines: dict[ProcessId, Timeline] = {
+            p: tuple(timelines.get(p, ())) for p in self._processes
+        }
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self._duration = duration
+        self.meta = dict(meta or {})
+        self._hash = hash(
+            (
+                self._processes,
+                tuple(self._timelines[p] for p in self._processes),
+                self._duration,
+            )
+        )
+        # Per-process incremental prefix histories: _prefixes[p] is a list
+        # where entry i is the history after the first i timeline events.
+        self._prefixes: dict[ProcessId, list[History]] = {}
+        for p in self._processes:
+            prefixes = [History()]
+            for _, event in self._timelines[p]:
+                prefixes.append(prefixes[-1].append(event))
+            self._prefixes[p] = prefixes
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Run):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self._processes == other._processes
+            and self._duration == other._duration
+            and self._timelines == other._timelines
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(len(t) for t in self._timelines.values())
+        return f"Run(n={len(self._processes)}, events={total}, duration={self._duration})"
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def processes(self) -> tuple[ProcessId, ...]:
+        return self._processes
+
+    @property
+    def duration(self) -> int:
+        return self._duration
+
+    def timeline(self, process: ProcessId) -> Timeline:
+        """The (time, event) pairs of one process, in time order."""
+        return self._timelines[process]
+
+    def events(self, process: ProcessId) -> Iterator[Event]:
+        """The events of one process, in history order."""
+        for _, event in self._timelines[process]:
+            yield event
+
+    def all_events(self) -> Iterator[tuple[int, Event]]:
+        """All (time, event) pairs across processes, sorted by time."""
+        merged = [
+            (t, p, e) for p in self._processes for (t, e) in self._timelines[p]
+        ]
+        merged.sort(key=lambda item: item[0])
+        for t, _, e in merged:
+            yield t, e
+
+    # -- the run-as-function view --------------------------------------------
+
+    def _event_count_at(self, process: ProcessId, time: int) -> int:
+        """Number of events in ``process``'s history at ``time``."""
+        timeline = self._timelines[process]
+        # times are strictly increasing; count entries with t <= time
+        times = [t for t, _ in timeline]
+        return bisect_right(times, time)
+
+    def history(self, process: ProcessId, time: int | None = None) -> History:
+        """p's history in the cut r(time); the final history if time is None.
+
+        Times beyond the duration return the final history (the
+        final-cut-repeats-forever convention).
+        """
+        if time is None:
+            time = self._duration
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        count = self._event_count_at(process, min(time, self._duration))
+        return self._prefixes[process][count]
+
+    def final_history(self, process: ProcessId) -> History:
+        """The process's complete history at the run's duration."""
+        return self._prefixes[process][-1]
+
+    def cut(self, time: int) -> Cut:
+        """The cut r(time)."""
+        return Cut(
+            self._processes,
+            {p: self.history(p, time) for p in self._processes},
+        )
+
+    def points(self) -> Iterator["Point"]:
+        """All points (r, m) for 0 <= m <= duration."""
+        for m in range(self._duration + 1):
+            yield Point(self, m)
+
+    # -- failure queries -------------------------------------------------------
+
+    def faulty(self) -> frozenset[ProcessId]:
+        """F(r): the processes whose history contains a crash event."""
+        return frozenset(
+            p for p in self._processes if self.final_history(p).crashed
+        )
+
+    def correct(self) -> frozenset[ProcessId]:
+        """Proc - F(r): the processes that never crash."""
+        return frozenset(self._processes) - self.faulty()
+
+    def crash_time(self, process: ProcessId) -> int | None:
+        """The time of ``process``'s crash event, or None if correct."""
+        timeline = self._timelines[process]
+        if timeline and isinstance(timeline[-1][1], CrashEvent):
+            return timeline[-1][0]
+        return None
+
+    def crashed_by(self, process: ProcessId, time: int) -> bool:
+        """True iff crash_process is in r_process(time)."""
+        ct = self.crash_time(process)
+        return ct is not None and ct <= min(time, self._duration)
+
+    # -- prefix relations -------------------------------------------------------
+
+    def extends(self, other: "Run", time: int) -> bool:
+        """True iff this run agrees with ``other`` on all cuts up to ``time``.
+
+        This is the paper's "r' extends (r, m)" relation restricted to
+        observed horizons.
+        """
+        if self._processes != other._processes:
+            return False
+        horizon = min(time, other._duration)
+        if horizon > self._duration:
+            return False
+        for p in self._processes:
+            for m in range(horizon + 1):
+                if self.history(p, m) != other.history(p, m):
+                    return False
+        return True
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (r, m): a run together with a time."""
+
+    run: Run
+    time: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+
+    def history(self, process: ProcessId) -> History:
+        """The process's local history at this point."""
+        return self.run.history(process, self.time)
+
+    def cut(self) -> Cut:
+        """The cut r(m) at this point."""
+        return self.run.cut(self.time)
+
+    def indistinguishable_to(self, process: ProcessId, other: "Point") -> bool:
+        """The relation (r, m) ~_p (r', m'): equality of p's local histories."""
+        return self.history(process) == other.history(process)
+
+
+# ---------------------------------------------------------------------------
+# R1--R5 validation
+# ---------------------------------------------------------------------------
+
+
+def validate_run(
+    run: Run,
+    *,
+    r5_send_threshold: int = 5,
+    check_r5: bool = True,
+) -> None:
+    """Check the well-formedness conditions R1--R5 of Section 2.1.
+
+    R1 and R2 are enforced structurally by the :class:`Run`
+    representation (histories start empty and grow one event per tick);
+    this function checks the cross-process conditions:
+
+    * R2 (per-event ownership): every event in p's timeline belongs to p.
+    * R3: every receive has a corresponding earlier-or-simultaneous send.
+    * R4: a crash event is the last event in its history.
+    * R5 (finite variant): if p sent the same message to a live q at
+      least ``r5_send_threshold`` times *and kept sending it until the
+      end of the run*, q received it at least once.  On infinite runs R5
+      says "sent infinitely often implies received infinitely often"; the
+      finite variant checks the consequence the paper's proofs actually
+      use -- persistent retransmission to a correct process succeeds.
+
+    Additionally checks the init uniqueness requirement of Section 2.4:
+    ``init_p(alpha)`` appears at most once per run and only at p.
+
+    Raises :class:`RunValidationError` on the first violation.
+    """
+    procs = set(run.processes)
+
+    # R1 + ownership + R4 + R2 monotone times.
+    for p in run.processes:
+        last_time = 0
+        timeline = run.timeline(p)
+        for i, (t, event) in enumerate(timeline):
+            if t < 1:
+                raise RunValidationError(
+                    f"{p} has an event at time {t}; r(0) must be the empty cut (R1)"
+                )
+            if event.process != p:
+                raise RunValidationError(
+                    f"event {event!r} at time {t} recorded in {p}'s history"
+                )
+            if t <= last_time:
+                raise RunValidationError(
+                    f"{p} has two events at/after time {t} in one tick (R2)"
+                )
+            last_time = t
+            if isinstance(event, CrashEvent) and i != len(timeline) - 1:
+                raise RunValidationError(f"{p} has events after its crash (R4)")
+
+    # R3: receives matched by sends.  A receive of msg from p at time t
+    # requires that the number of sends of msg by p to q at times <= t is
+    # at least the number of receives so far (counting multiplicity).
+    for q in run.processes:
+        recv_counts: dict[tuple, int] = {}
+        for t, event in run.timeline(q):
+            if not isinstance(event, ReceiveEvent):
+                continue
+            if event.sender not in procs:
+                raise RunValidationError(
+                    f"receive from unknown process {event.sender!r}"
+                )
+            key = (event.sender, q, event.message)
+            recv_counts[key] = recv_counts.get(key, 0) + 1
+            sends = sum(
+                1
+                for ts, se in run.timeline(event.sender)
+                if ts <= t
+                and isinstance(se, SendEvent)
+                and se.receiver == q
+                and se.message == event.message
+            )
+            if sends < recv_counts[key]:
+                raise RunValidationError(
+                    f"{q} received {event.message!r} from {event.sender} at "
+                    f"time {t} without a matching send (R3)"
+                )
+
+    # Init uniqueness (Section 2.4).
+    seen_inits: set = set()
+    for p in run.processes:
+        for event in run.events(p):
+            if isinstance(event, InitEvent):
+                if event.process != p:
+                    raise RunValidationError(
+                        f"init event for {event.process} in {p}'s history"
+                    )
+                if event.action in seen_inits:
+                    raise RunValidationError(
+                        f"action {event.action!r} initiated twice"
+                    )
+                seen_inits.add(event.action)
+
+    if check_r5:
+        violations = r5_violations(run, send_threshold=r5_send_threshold)
+        if violations:
+            sender, receiver, message, count = violations[0]
+            raise RunValidationError(
+                f"{sender} sent {message!r} to live process {receiver} "
+                f"{count} times with no receipt (R5 finite variant)"
+            )
+
+
+def r5_violations(
+    run: Run, *, send_threshold: int = 5
+) -> list[tuple[ProcessId, ProcessId, object, int]]:
+    """Return the finite-R5 violations in ``run``.
+
+    A violation is a (sender, receiver, message, send_count) tuple where
+    the sender sent the same message at least ``send_threshold`` times,
+    the last send was still "recent" relative to the end of the run
+    (i.e. the sender never gave up, so on the infinite extension it would
+    send infinitely often), the receiver never crashed, and the receiver
+    never received the message.
+    """
+    violations = []
+    for p in run.processes:
+        send_counts: dict[tuple[ProcessId, object], list[int]] = {}
+        for t, event in run.timeline(p):
+            if isinstance(event, SendEvent):
+                send_counts.setdefault((event.receiver, event.message), []).append(t)
+        for (q, message), times in send_counts.items():
+            if q not in run.processes or len(times) < send_threshold:
+                continue
+            if run.crash_time(q) is not None:
+                continue
+            received = run.final_history(q).received(p, message)
+            if not received:
+                violations.append((p, q, message, len(times)))
+    return violations

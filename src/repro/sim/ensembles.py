@@ -1,0 +1,85 @@
+"""Ensemble builders: Systems = {runs of one protocol under many adversaries}.
+
+Knowledge in the paper is defined over a *system* -- the set of all runs
+a protocol generates in a context.  Our finite stand-in is an ensemble:
+the same joint protocol executed under a sweep of adversary seeds and
+crash plans (DESIGN.md substitution 3).  To make the theorems'
+hypotheses hold of the ensemble:
+
+* A1/A5_t: include, for every subset S with |S| <= t, runs in which
+  exactly S fails (``all_crash_plans``), at varied crash times;
+* "infinitely many initiations": workloads continue past every crash
+  (:func:`repro.workloads.generators.post_crash_workload`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.detectors.base import DetectorOracle
+from repro.model.context import Context
+from repro.model.events import ProcessId
+from repro.model.run import Run
+from repro.model.system import System
+from repro.sim.executor import ExecutionConfig, Executor, InitSchedule, ProtocolFactory
+from repro.sim.failures import CrashPlan, all_crash_plans
+
+WorkloadFor = Callable[[CrashPlan], InitSchedule]
+
+
+def build_ensemble(
+    processes: Sequence[ProcessId],
+    protocol_factory: ProtocolFactory,
+    *,
+    crash_plans: Iterable[CrashPlan],
+    workload: InitSchedule | WorkloadFor,
+    detector: DetectorOracle | None = None,
+    seeds: Sequence[int] = (0, 1),
+    config: ExecutionConfig | None = None,
+    context: Context | None = None,
+) -> System:
+    """Run the protocol for every (crash plan, seed) pair and collect a System."""
+    runs: list[Run] = []
+    for plan in crash_plans:
+        schedule = workload(plan) if callable(workload) else workload
+        for seed in seeds:
+            executor = Executor(
+                processes,
+                protocol_factory,
+                crash_plan=plan,
+                workload=schedule,
+                detector=detector,
+                config=config,
+                seed=seed,
+                context=context,
+            )
+            runs.append(executor.run())
+    return System(runs, context=context)
+
+
+def a5t_ensemble(
+    processes: Sequence[ProcessId],
+    protocol_factory: ProtocolFactory,
+    *,
+    t: int,
+    workload: InitSchedule | WorkloadFor,
+    detector: DetectorOracle | None = None,
+    seeds: Sequence[int] = (0, 1),
+    crash_tick: int = 10,
+    config: ExecutionConfig | None = None,
+    context: Context | None = None,
+) -> System:
+    """An ensemble covering every failure pattern of size <= t (A5_t)."""
+    plans = list(
+        all_crash_plans(processes, max_failures=t, crash_tick=crash_tick)
+    )
+    return build_ensemble(
+        processes,
+        protocol_factory,
+        crash_plans=plans,
+        workload=workload,
+        detector=detector,
+        seeds=seeds,
+        config=config,
+        context=context,
+    )

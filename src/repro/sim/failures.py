@@ -1,0 +1,118 @@
+"""Crash plans: which processes fail, and when (A1, A5_t).
+
+A :class:`CrashPlan` is the adversary's failure choice for one run.  The
+samplers and enumerators here realise the paper's context conditions:
+
+* A1 (failure independence): which processes crash, and when, is chosen
+  independently of the protocol's behaviour -- the plan is fixed before
+  execution and the executor applies it unconditionally.
+* A5_t: for every S with |S| <= t there is a run where exactly S fails.
+  :func:`all_crash_plans` enumerates one plan per such subset, which the
+  ensemble builders use to generate systems satisfying A5_t.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Iterator, Mapping
+
+from repro.model.events import ProcessId
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """The failure pattern of one run: process -> planned crash tick."""
+
+    crashes: tuple[tuple[ProcessId, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        pids = [p for p, _ in self.crashes]
+        if len(set(pids)) != len(pids):
+            raise ValueError("a process can crash at most once")
+        for _, tick in self.crashes:
+            if tick < 0:
+                raise ValueError("crash ticks must be non-negative")
+
+    @classmethod
+    def of(cls, crashes: Mapping[ProcessId, int]) -> "CrashPlan":
+        return cls(tuple(sorted(crashes.items())))
+
+    @classmethod
+    def none(cls) -> "CrashPlan":
+        return cls(())
+
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        return frozenset(p for p, _ in self.crashes)
+
+    def crash_tick(self, process: ProcessId) -> int | None:
+        """The planned crash tick, or None if the process stays correct."""
+        for p, tick in self.crashes:
+            if p == process:
+                return tick
+        return None
+
+    def as_dict(self) -> dict[ProcessId, int]:
+        """The plan as a mutable process -> tick mapping."""
+        return dict(self.crashes)
+
+    def __len__(self) -> int:
+        return len(self.crashes)
+
+
+def sample_crash_plan(
+    rng: random.Random,
+    processes: Iterable[ProcessId],
+    *,
+    max_failures: int | None = None,
+    crash_prob: float = 0.3,
+    horizon: int = 60,
+) -> CrashPlan:
+    """Sample a crash plan: each process fails with ``crash_prob``,
+    truncated to ``max_failures`` (the context's t), with crash ticks
+    uniform in [0, horizon].
+    """
+    procs = list(processes)
+    bound = len(procs) if max_failures is None else max_failures
+    victims = [p for p in procs if rng.random() < crash_prob]
+    rng.shuffle(victims)
+    victims = victims[:bound]
+    return CrashPlan.of({p: rng.randint(0, horizon) for p in victims})
+
+
+def all_crash_plans(
+    processes: Iterable[ProcessId],
+    *,
+    max_failures: int,
+    crash_tick: int = 10,
+) -> Iterator[CrashPlan]:
+    """One plan per subset S with |S| <= max_failures (A5_t coverage).
+
+    All members of a subset crash at ``crash_tick``; the ensemble
+    builders also add jittered variants so that crash times vary.
+    """
+    procs = tuple(processes)
+    for size in range(max_failures + 1):
+        for subset in combinations(procs, size):
+            yield CrashPlan.of({p: crash_tick for p in subset})
+
+
+def staggered_plan(
+    processes: Iterable[ProcessId],
+    faulty: Iterable[ProcessId],
+    *,
+    first_tick: int = 5,
+    spacing: int = 7,
+) -> CrashPlan:
+    """A plan where the given processes crash one after another."""
+    procs = set(processes)
+    crashes = {}
+    tick = first_tick
+    for p in faulty:
+        if p not in procs:
+            raise ValueError(f"unknown process {p!r}")
+        crashes[p] = tick
+        tick += spacing
+    return CrashPlan.of(crashes)

@@ -1,0 +1,138 @@
+"""The protocol interface (Section 2.1: protocols as functions of history).
+
+The paper defines a protocol for p as a function from finite histories to
+actions.  The executable form here is event-driven: the executor calls
+the ``on_*`` hooks as events are appended to the process's history, and
+the hooks react by enqueuing new protocol events (sends, do's) through
+the :class:`ProcessEnv`.  The enqueued events are appended to the history
+one per tick (condition R2), so the realized run still appends at most
+one event per process per time step.
+
+A protocol instance may keep internal state, but that state must be a
+function of the local history -- the hooks receive exactly the
+information that is in the history, in history order, so this holds by
+construction as long as implementations do not consult out-of-band
+sources (they are given none).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable
+
+from repro.model.events import (
+    ActionId,
+    DoEvent,
+    Message,
+    ProcessId,
+    SendEvent,
+    Suspicion,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.executor import Executor
+
+
+class ProcessEnv:
+    """What a protocol may do and observe: its local interface.
+
+    Instances are created by the executor, one per process.  ``send`` and
+    ``perform`` enqueue events on the process's outbox; the scheduler
+    appends them to the history on subsequent ticks.
+    """
+
+    def __init__(self, pid: ProcessId, processes: tuple[ProcessId, ...]) -> None:
+        self.pid = pid
+        self.processes = processes
+        self.outbox: deque = deque()
+        self.now: int = 0
+        self._performed: set[ActionId] = set()
+
+    @property
+    def others(self) -> tuple[ProcessId, ...]:
+        return tuple(p for p in self.processes if p != self.pid)
+
+    def send(self, receiver: ProcessId, message: Message) -> None:
+        """Enqueue ``send_p(receiver, message)``."""
+        if receiver == self.pid:
+            raise ValueError("processes do not send messages to themselves")
+        if receiver not in self.processes:
+            raise ValueError(f"unknown receiver {receiver!r}")
+        self.outbox.append(SendEvent(self.pid, receiver, message))
+
+    def broadcast(self, message: Message) -> None:
+        """Enqueue a send to every other process."""
+        for q in self.others:
+            self.send(q, message)
+
+    def perform(self, action: ActionId) -> None:
+        """Enqueue ``do_p(action)``.  Idempotent: a second perform of the
+        same action is ignored, matching the protocols in the paper which
+        enter a UDC(alpha) state once."""
+        if action in self._performed:
+            return
+        self._performed.add(action)
+        self.outbox.append(DoEvent(self.pid, action))
+
+    def has_performed(self, action: ActionId) -> bool:
+        """Has ``perform(action)`` already been issued?"""
+        return action in self._performed
+
+    @property
+    def outbox_size(self) -> int:
+        return len(self.outbox)
+
+
+class ProtocolProcess:
+    """Base class for per-process protocol logic.
+
+    Subclasses override the ``on_*`` hooks.  The executor guarantees:
+
+    * ``on_start`` is called once before the first tick;
+    * ``on_init(action)`` when an ``init`` event is appended;
+    * ``on_receive(sender, message)`` when a ``recv`` event is appended;
+    * ``on_suspect(report)`` when a failure-detector event is appended;
+    * ``on_tick()`` on ticks where the process appends no event and has
+      an empty outbox (the hook may enqueue retransmissions);
+    * ``wants_to_act()`` is consulted by the quiescence detector: return
+      True while the protocol still intends to enqueue events in future
+      ``on_tick`` calls.  A protocol that never returns False can make a
+      run non-terminating; bounded-retransmission variants (see
+      :mod:`repro.core.protocols`) always eventually return False.
+    """
+
+    def __init__(self, pid: ProcessId, env: ProcessEnv) -> None:
+        self.pid = pid
+        self.env = env
+
+    # -- lifecycle hooks ---------------------------------------------------
+
+    def on_start(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_init(self, action: ActionId) -> None:  # pragma: no cover
+        pass
+
+    def on_receive(self, sender: ProcessId, message: Message) -> None:  # pragma: no cover
+        pass
+
+    def on_suspect(self, report: Suspicion) -> None:  # pragma: no cover
+        pass
+
+    def on_tick(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def wants_to_act(self) -> bool:
+        return False
+
+
+JointProtocolFactory = "Callable[[ProcessId, ProcessEnv], ProtocolProcess]"
+
+
+def uniform_protocol(cls, /, **kwargs):
+    """A joint-protocol factory where every process runs ``cls(pid, env, **kwargs)``."""
+
+    def factory(pid: ProcessId, env: ProcessEnv) -> ProtocolProcess:
+        return cls(pid, env, **kwargs)
+
+    return factory

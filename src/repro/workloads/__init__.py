@@ -1,0 +1,19 @@
+"""Workload generators: schedules of action initiations (Section 2.4)."""
+
+from repro.workloads.generators import (
+    action_id,
+    burst_workload,
+    initiator_of,
+    post_crash_workload,
+    single_action,
+    stream_workload,
+)
+
+__all__ = [
+    "action_id",
+    "burst_workload",
+    "initiator_of",
+    "post_crash_workload",
+    "single_action",
+    "stream_workload",
+]

@@ -1,0 +1,104 @@
+"""Action-initiation workloads.
+
+Coordination actions live in per-process sets A_p that must be disjoint
+(Section 2.4); we realise the paper's suggestion that actions are
+"tagged" by their initiator: an action identifier is the pair
+``(initiator, name)``.  Only the initiator may init it, and an action is
+initiated at most once per run -- both enforced by the run validator.
+
+A workload is a sorted sequence of ``(tick, process, action)`` triples
+handed to the executor, which turns each into an ``init`` event at the
+first free tick at or after ``tick`` (provided the process is still
+alive -- a crashed initiator simply never initiates, which is allowed:
+DC1 is then vacuous for that action).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.model.events import ActionId, ProcessId
+from repro.sim.failures import CrashPlan
+
+Workload = list[tuple[int, ProcessId, ActionId]]
+
+
+def action_id(initiator: ProcessId, name: str) -> ActionId:
+    """The canonical action identifier: tagged by its initiator."""
+    return (initiator, name)
+
+
+def initiator_of(action: ActionId) -> ProcessId:
+    """The process p with action in A_p."""
+    return action[0]
+
+
+def single_action(initiator: ProcessId, *, tick: int = 0, name: str = "a0") -> Workload:
+    """One action initiated by one process: the minimal UDC workload."""
+    return [(tick, initiator, action_id(initiator, name))]
+
+
+def burst_workload(
+    processes: Iterable[ProcessId],
+    *,
+    tick: int = 0,
+    actions_per_process: int = 1,
+) -> Workload:
+    """Every process initiates ``actions_per_process`` actions at once."""
+    workload: Workload = []
+    for p in processes:
+        for i in range(actions_per_process):
+            workload.append((tick, p, action_id(p, f"a{i}")))
+    workload.sort()
+    return workload
+
+
+def stream_workload(
+    processes: Sequence[ProcessId],
+    *,
+    count: int,
+    spacing: int = 6,
+    start_tick: int = 0,
+    rng: random.Random | None = None,
+) -> Workload:
+    """``count`` actions spread over time, round-robin (or random) initiators.
+
+    This is the finite stand-in for the theorems' "infinitely many
+    actions are initiated": a steady stream that outlives every crash in
+    the run.
+    """
+    workload: Workload = []
+    for i in range(count):
+        if rng is None:
+            p = processes[i % len(processes)]  # round-robin
+        else:
+            p = rng.choice(processes)
+        workload.append((start_tick + i * spacing, p, action_id(p, f"s{i}")))
+    return workload
+
+
+def post_crash_workload(
+    processes: Sequence[ProcessId],
+    crash_plan: CrashPlan,
+    *,
+    actions_per_survivor: int = 2,
+    spacing: int = 8,
+    lead: int = 5,
+) -> Workload:
+    """Actions initiated by planned-correct processes *after* every crash.
+
+    Theorems 3.6 and 4.3 require that correct processes keep initiating
+    actions after failures (that is what forces them to learn about the
+    failures).  This generator starts the stream ``lead`` ticks after the
+    last planned crash.
+    """
+    last_crash = max((t for _, t in crash_plan.crashes), default=0)
+    survivors = [p for p in processes if p not in crash_plan.faulty]
+    workload: Workload = []
+    tick = last_crash + lead
+    for i in range(actions_per_survivor):
+        for p in survivors:
+            workload.append((tick, p, action_id(p, f"pc{i}")))
+        tick += spacing
+    return workload

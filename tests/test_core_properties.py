@@ -1,0 +1,199 @@
+"""Unit tests for the DC1-DC3 / DC2' checkers on hand-crafted runs."""
+
+from repro.core.properties import (
+    actions_in,
+    dc1,
+    dc2,
+    dc2_prime,
+    dc3,
+    nudc_holds,
+    system_nudc,
+    system_udc,
+    udc_holds,
+)
+from repro.model.events import CrashEvent, DoEvent, InitEvent
+from repro.model.run import Run
+from repro.model.system import System
+
+PROCS = ("p1", "p2", "p3")
+A = ("p1", "a")
+
+
+def build(timelines, duration=20):
+    return Run(PROCS, timelines, duration)
+
+
+def full_udc_run():
+    return build(
+        {
+            "p1": [(1, InitEvent("p1", A)), (3, DoEvent("p1", A))],
+            "p2": [(5, DoEvent("p2", A))],
+            "p3": [(6, DoEvent("p3", A))],
+        }
+    )
+
+
+class TestDC1:
+    def test_vacuous_without_init(self):
+        assert dc1(build({"p1": [], "p2": [], "p3": []}), A)
+
+    def test_satisfied_by_do(self):
+        assert dc1(full_udc_run(), A)
+
+    def test_satisfied_by_crash(self):
+        r = build(
+            {"p1": [(1, InitEvent("p1", A)), (2, CrashEvent("p1"))], "p2": [], "p3": []}
+        )
+        assert dc1(r, A)
+
+    def test_violated_by_stalled_initiator(self):
+        r = build({"p1": [(1, InitEvent("p1", A))], "p2": [], "p3": []})
+        verdict = dc1(r, A)
+        assert not verdict
+        assert "p1" in verdict.witness
+
+
+class TestDC2:
+    def test_vacuous_without_performers(self):
+        assert dc2(build({"p1": [(1, InitEvent("p1", A))], "p2": [], "p3": []}), A)
+
+    def test_all_perform(self):
+        assert dc2(full_udc_run(), A)
+
+    def test_crash_discharges_obligation(self):
+        r = build(
+            {
+                "p1": [(1, InitEvent("p1", A)), (3, DoEvent("p1", A))],
+                "p2": [(5, DoEvent("p2", A))],
+                "p3": [(4, CrashEvent("p3"))],
+            }
+        )
+        assert dc2(r, A)
+
+    def test_uniformity_counts_faulty_performers(self):
+        # The key UDC clause: p1 performs then crashes; correct p2 is
+        # still obliged.
+        r = build(
+            {
+                "p1": [
+                    (1, InitEvent("p1", A)),
+                    (3, DoEvent("p1", A)),
+                    (4, CrashEvent("p1")),
+                ],
+                "p2": [],
+                "p3": [(9, DoEvent("p3", A))],
+            }
+        )
+        assert not dc2(r, A)
+
+    def test_dc2_prime_excuses_faulty_performer(self):
+        r = build(
+            {
+                "p1": [
+                    (1, InitEvent("p1", A)),
+                    (3, DoEvent("p1", A)),
+                    (4, CrashEvent("p1")),
+                ],
+                "p2": [],
+                "p3": [],
+            }
+        )
+        assert not dc2(r, A)
+        assert dc2_prime(r, A)
+
+    def test_dc2_prime_binds_correct_performer(self):
+        r = build(
+            {
+                "p1": [(1, InitEvent("p1", A)), (3, DoEvent("p1", A))],
+                "p2": [],
+                "p3": [],
+            }
+        )
+        assert not dc2_prime(r, A)
+
+
+class TestDC3:
+    def test_do_without_init_rejected(self):
+        r = build({"p1": [], "p2": [(3, DoEvent("p2", A))], "p3": []})
+        verdict = dc3(r, A)
+        assert not verdict
+        assert "never initiated" in verdict.witness
+
+    def test_do_before_init_rejected(self):
+        r = build(
+            {
+                "p1": [(5, InitEvent("p1", A))],
+                "p2": [(3, DoEvent("p2", A))],
+                "p3": [],
+            }
+        )
+        assert not dc3(r, A)
+
+    def test_do_at_init_time_allowed(self):
+        # The init and a do in the same cut: init_p(alpha) already holds.
+        r = build(
+            {
+                "p1": [(3, InitEvent("p1", A))],
+                "p2": [(3, DoEvent("p2", A))],
+                "p3": [],
+            }
+        )
+        assert dc3(r, A)
+
+    def test_proper_order(self):
+        assert dc3(full_udc_run(), A)
+
+
+class TestAggregates:
+    def test_udc_holds_for_specific_action(self):
+        assert udc_holds(full_udc_run(), A)
+
+    def test_udc_checks_all_actions(self):
+        b = ("p2", "b")
+        r = build(
+            {
+                "p1": [(1, InitEvent("p1", A)), (3, DoEvent("p1", A))],
+                "p2": [
+                    (2, InitEvent("p2", b)),
+                    (4, DoEvent("p2", A)),
+                    (5, DoEvent("p2", b)),
+                ],
+                "p3": [(6, DoEvent("p3", A))],  # never does b
+            }
+        )
+        assert udc_holds(r, A)
+        assert not udc_holds(r, b)
+        assert not udc_holds(r)
+
+    def test_udc_catches_uninitiated_do(self):
+        r = build({"p1": [], "p2": [(3, DoEvent("p2", A))], "p3": []})
+        assert not udc_holds(r)  # via DC3, even with no init events
+
+    def test_nudc_aggregate(self):
+        r = build(
+            {
+                "p1": [
+                    (1, InitEvent("p1", A)),
+                    (3, DoEvent("p1", A)),
+                    (4, CrashEvent("p1")),
+                ],
+                "p2": [],
+                "p3": [],
+            }
+        )
+        assert nudc_holds(r)
+        assert not udc_holds(r)
+
+    def test_actions_in(self):
+        assert actions_in(full_udc_run()) == {A}
+        assert actions_in(build({"p1": [], "p2": [], "p3": []})) == set()
+
+    def test_system_level(self):
+        good = full_udc_run()
+        bad = build(
+            {"p1": [(1, InitEvent("p1", A)), (3, DoEvent("p1", A))], "p2": [], "p3": []}
+        )
+        assert system_udc(System([good]))
+        verdict = system_udc(System([good, bad]))
+        assert not verdict and "run 1" in verdict.witness
+        assert not system_nudc(System([bad]))

@@ -1,0 +1,161 @@
+"""Unit tests for the detector base layer: Suspects_p(r, m), suspicion
+histories, and the eventually-permanently decision procedure."""
+
+import pytest
+
+from repro.detectors.base import (
+    IntervalOracle,
+    ever_suspected,
+    permanently_suspected_from,
+    suspects_at,
+    suspicion_history,
+)
+from repro.model.events import (
+    CrashEvent,
+    GeneralizedSuspicion,
+    StandardSuspicion,
+    SuspectEvent,
+)
+from repro.model.history import History
+from repro.model.run import Run
+
+PROCS = ("p1", "p2", "p3")
+
+
+def sus(p, suspects, derived=False):
+    return SuspectEvent(p, StandardSuspicion(frozenset(suspects)), derived=derived)
+
+
+class TestSuspectsAt:
+    def test_most_recent_report(self):
+        h = History([sus("p1", {"p2"}), sus("p1", {"p3"})])
+        assert suspects_at(h) == frozenset({"p3"})
+
+    def test_empty_when_no_reports(self):
+        assert suspects_at(History()) == frozenset()
+
+    def test_generalized_report_rejected(self):
+        h = History(
+            [SuspectEvent("p1", GeneralizedSuspicion(frozenset({"p2"}), 1))]
+        )
+        with pytest.raises(TypeError, match="not standard"):
+            suspects_at(h)
+
+    def test_derived_stream(self):
+        h = History([sus("p1", {"p2"}), sus("p1", {"p3"}, derived=True)])
+        assert suspects_at(h) == frozenset({"p2"})
+        assert suspects_at(h, derived=True) == frozenset({"p3"})
+
+
+class TestSuspicionHistory:
+    def run(self):
+        return Run(
+            PROCS,
+            {
+                "p1": [
+                    (2, sus("p1", {"p2"})),
+                    (5, sus("p1", set())),
+                    (7, sus("p1", {"p2", "p3"})),
+                ],
+                "p2": [],
+                "p3": [],
+            },
+            duration=10,
+        )
+
+    def test_all_reports_in_order(self):
+        reports = list(suspicion_history(self.run(), "p1"))
+        assert [t for t, _ in reports] == [2, 5, 7]
+
+    def test_ever_suspected(self):
+        assert ever_suspected(self.run(), "p1", "p2")
+        assert ever_suspected(self.run(), "p1", "p3")
+        assert not ever_suspected(self.run(), "p2", "p1")
+
+
+class TestPermanentlySuspectedFrom:
+    def test_never_suspected(self):
+        r = Run(PROCS, {"p1": [], "p2": [], "p3": []}, duration=8)
+        assert permanently_suspected_from(r, "p1", "p2") is None
+
+    def test_suspected_from_report_time(self):
+        r = Run(
+            PROCS,
+            {"p1": [(3, sus("p1", {"p2"}))], "p2": [], "p3": []},
+            duration=8,
+        )
+        assert permanently_suspected_from(r, "p1", "p2") == 3
+
+    def test_retraction_resets(self):
+        r = Run(
+            PROCS,
+            {
+                "p1": [
+                    (3, sus("p1", {"p2"})),
+                    (5, sus("p1", set())),
+                    (7, sus("p1", {"p2"})),
+                ],
+                "p2": [],
+                "p3": [],
+            },
+            duration=10,
+        )
+        assert permanently_suspected_from(r, "p1", "p2") == 7
+
+    def test_final_retraction_means_not_permanent(self):
+        r = Run(
+            PROCS,
+            {
+                "p1": [(3, sus("p1", {"p2"})), (6, sus("p1", set()))],
+                "p2": [],
+                "p3": [],
+            },
+            duration=10,
+        )
+        assert permanently_suspected_from(r, "p1", "p2") is None
+
+    def test_superset_reports_keep_permanence(self):
+        r = Run(
+            PROCS,
+            {
+                "p1": [(3, sus("p1", {"p2"})), (6, sus("p1", {"p2", "p3"}))],
+                "p2": [],
+                "p3": [],
+            },
+            duration=10,
+        )
+        assert permanently_suspected_from(r, "p1", "p2") == 3
+        assert permanently_suspected_from(r, "p1", "p3") == 6
+
+
+class TestIntervalOracle:
+    class Dummy(IntervalOracle):
+        def poll(self, pid, tick, truth, rng):
+            if not self.due(pid, tick):
+                return None
+            self.mark(pid, tick)
+            return StandardSuspicion(frozenset())
+
+    def test_interval_gating(self):
+        oracle = self.Dummy(interval=4, start_tick=2)
+        assert not oracle.due("p1", 1)  # before start
+        assert oracle.due("p1", 2)
+        oracle.mark("p1", 2)
+        assert not oracle.due("p1", 5)
+        assert oracle.due("p1", 6)
+
+    def test_per_process_independence(self):
+        oracle = self.Dummy(interval=4)
+        oracle.mark("p1", 10)
+        assert oracle.due("p2", 10)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            self.Dummy(interval=0)
+
+    def test_fresh_resets_marks(self):
+        oracle = self.Dummy(interval=4)
+        oracle.mark("p1", 10)
+        clone = oracle.fresh()
+        assert clone.due("p1", 10)
+        assert not oracle.due("p1", 10)

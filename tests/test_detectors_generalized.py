@@ -1,0 +1,179 @@
+"""Tests for generalized (S, k) detectors and t-usefulness (Section 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.protocols import GeneralizedFDUDCProcess
+from repro.detectors.generalized import (
+    GeneralizedOracle,
+    TrivialSubsetOracle,
+    is_t_useful_event,
+    max_padding,
+)
+from repro.detectors.properties import (
+    generalized_impermanent_strong_completeness,
+    generalized_strong_accuracy,
+)
+from repro.model.context import make_process_ids
+from repro.model.events import GeneralizedSuspicion, SuspectEvent
+from repro.sim.executor import Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(5)
+N = len(PROCS)
+
+
+def run_with(detector, t, plan, seed=0):
+    return Executor(
+        PROCS,
+        uniform_protocol(GeneralizedFDUDCProcess, t=t),
+        crash_plan=plan,
+        workload=single_action("p1", tick=1),
+        detector=detector,
+        seed=seed,
+    ).run()
+
+
+class TestTUsefulDefinition:
+    def test_paper_conditions(self):
+        faulty = frozenset({"p4", "p5"})
+        # (a) F not in S => not useful.
+        assert not is_t_useful_event(
+            GeneralizedSuspicion(frozenset({"p4"}), 1), faulty, N, 2
+        )
+        # All three conditions met.
+        assert is_t_useful_event(
+            GeneralizedSuspicion(frozenset({"p4", "p5"}), 2), faulty, N, 2
+        )
+        # (b) inequality fails: |S| too big for the count.
+        assert not is_t_useful_event(
+            GeneralizedSuspicion(frozenset({"p3", "p4", "p5"}), 0), faulty, N, 2
+        )
+
+    def test_trivial_report_useful_iff_small_t(self):
+        # (S, 0) with |S| = t: useful iff n - t > t, i.e. t < n/2.
+        faulty = frozenset({"p5"})
+        small = GeneralizedSuspicion(frozenset({"p4", "p5"}), 0)  # t = 2 < 2.5
+        assert is_t_useful_event(small, faulty, N, 2)
+        big = GeneralizedSuspicion(frozenset({"p3", "p4", "p5"}), 0)  # t = 3
+        assert not is_t_useful_event(big, faulty, N, 3)
+
+    def test_n_useful_forces_exact_sets(self):
+        # For t >= n-1, min(t, n-1) = n-1 and a useful (S, k) needs
+        # k > |S| - 1, i.e. k = |S| (the paper's observation).
+        faulty = frozenset({"p1", "p2", "p3", "p4"})
+        assert is_t_useful_event(
+            GeneralizedSuspicion(faulty, 4), faulty, N, N - 1
+        )
+        assert not is_t_useful_event(
+            GeneralizedSuspicion(faulty, 3), faulty, N, N - 1
+        )
+
+    @given(
+        st.integers(0, N),
+        st.sets(st.sampled_from(PROCS), max_size=N),
+    )
+    def test_usefulness_monotone_in_k(self, t, suspects):
+        """If (S, k) is useful, (S, k') for k <= k' <= |S| is too."""
+        s = frozenset(suspects)
+        faulty = s  # choose F = S so (a) holds
+        useful_ks = [
+            k
+            for k in range(len(s) + 1)
+            if is_t_useful_event(GeneralizedSuspicion(s, k), faulty, N, t)
+        ]
+        if useful_ks:
+            lo = min(useful_ks)
+            assert useful_ks == list(range(lo, len(s) + 1))
+
+
+class TestMaxPadding:
+    def test_values(self):
+        assert max_padding(5, 2) == 2  # pad < n - t = 3
+        assert max_padding(5, 4) == 0
+        assert max_padding(5, 5) == 0  # min(t, n-1) = 4
+        assert max_padding(4, 0) == 3
+
+
+class TestGeneralizedOracle:
+    def test_accuracy_and_completeness(self):
+        plan = CrashPlan.of({"p4": 5, "p5": 9})
+        for seed in range(3):
+            run = run_with(GeneralizedOracle(2, padding=1), 2, plan, seed)
+            assert generalized_strong_accuracy(run)
+            assert generalized_impermanent_strong_completeness(run, 2)
+
+    def test_padding_clamped(self):
+        plan = CrashPlan.of({"p5": 5})
+        run = run_with(GeneralizedOracle(2, padding=50), 2, plan)
+        reports = [
+            e.report
+            for p in PROCS
+            for e in run.events(p)
+            if isinstance(e, SuspectEvent)
+        ]
+        assert reports
+        # |S| = |F| + clamped padding <= 1 + max_padding(5, 2) = 3.
+        assert all(len(r.suspects) <= 3 for r in reports)
+
+    def test_unclamped_padding_breaks_usefulness(self):
+        plan = CrashPlan.of({"p5": 5})
+        run = run_with(
+            GeneralizedOracle(2, padding=3, clamp_padding=False), 2, plan
+        )
+        assert generalized_strong_accuracy(run)  # accuracy survives
+        assert not generalized_impermanent_strong_completeness(run, 2)
+
+    def test_counts_track_actual_crashes(self):
+        plan = CrashPlan.of({"p4": 5, "p5": 20})
+        run = run_with(GeneralizedOracle(2), 2, plan)
+        for p in sorted(run.correct()):
+            counts = [
+                (t, e.report.count)
+                for t, e in run.timeline(p)
+                if isinstance(e, SuspectEvent)
+            ]
+            # Counts are non-decreasing and end at |F|.
+            values = [k for _, k in counts]
+            assert values == sorted(values)
+            assert values[-1] == 2
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralizedOracle(-1)
+
+
+class TestTrivialSubsetOracle:
+    def test_emits_every_t_subset_once(self):
+        from itertools import combinations
+
+        plan = CrashPlan.none()
+        run = run_with(TrivialSubsetOracle(2), 2, plan)
+        for p in PROCS:
+            reports = [
+                e.report
+                for e in run.events(p)
+                if isinstance(e, SuspectEvent)
+            ]
+            subsets = [r.suspects for r in reports]
+            expected = [frozenset(c) for c in combinations(sorted(PROCS), 2)]
+            assert subsets == expected
+            assert all(r.count == 0 for r in reports)
+
+    def test_vacuously_accurate(self):
+        plan = CrashPlan.of({"p5": 5})
+        run = run_with(TrivialSubsetOracle(2), 2, plan)
+        assert generalized_strong_accuracy(run)
+
+    def test_useful_for_small_t(self):
+        plan = CrashPlan.of({"p4": 5, "p5": 7})
+        run = run_with(TrivialSubsetOracle(2), 2, plan)
+        assert generalized_impermanent_strong_completeness(run, 2)
+
+    def test_useless_for_large_t(self):
+        plan = CrashPlan.of({"p5": 5})
+        run = run_with(TrivialSubsetOracle(3), 3, plan)
+        assert not generalized_impermanent_strong_completeness(run, 3)

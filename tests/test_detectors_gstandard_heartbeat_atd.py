@@ -1,0 +1,213 @@
+"""Tests for g-standard wrappers, the heartbeat detector, and the ATD oracle."""
+
+import pytest
+
+from repro.core.protocols import NUDCProcess, StrongFDUDCProcess
+from repro.detectors.atd import AtdRotatingOracle
+from repro.detectors.gstandard import (
+    CorrectReport,
+    GStandardOracle,
+    complement_gstandard,
+    g_complement,
+    g_suspects_at,
+)
+from repro.detectors.heartbeat import (
+    HEARTBEAT,
+    HeartbeatProcess,
+    derive_heartbeat_suspicions,
+    with_heartbeats,
+)
+from repro.detectors.properties import (
+    atd_accuracy,
+    impermanent_strong_completeness,
+    strong_accuracy,
+    strong_completeness,
+    weak_accuracy,
+)
+from repro.detectors.standard import PerfectOracle
+from repro.model.context import make_process_ids
+from repro.model.events import Message, StandardSuspicion, SuspectEvent
+from repro.sim.executor import ExecutionConfig, Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.network import ChannelConfig
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import post_crash_workload, single_action
+
+PROCS = make_process_ids(4)
+
+
+class TestGStandard:
+    def test_complement_mapping(self):
+        report = CorrectReport(frozenset({"p1", "p2"}), frozenset(PROCS))
+        assert g_complement(report) == frozenset({"p3", "p4"})
+
+    def test_wrapped_oracle_properties_transfer(self):
+        plan = CrashPlan.of({"p3": 5})
+        run = Executor(
+            PROCS,
+            uniform_protocol(StrongFDUDCProcess),
+            crash_plan=plan,
+            workload=single_action("p1", tick=1),
+            detector=complement_gstandard(PerfectOracle()),
+            seed=0,
+        ).run()
+        # The g-image reports are recorded as standard suspicions, so
+        # the untouched checkers apply (the paper: "all of our results
+        # apply to g-standard failure detectors as well").
+        assert strong_accuracy(run)
+        assert strong_completeness(run)
+
+    def test_wrapped_equals_unwrapped(self):
+        plan = CrashPlan.of({"p3": 5})
+
+        def execute(detector):
+            return Executor(
+                PROCS,
+                uniform_protocol(StrongFDUDCProcess),
+                crash_plan=plan,
+                workload=single_action("p1", tick=1),
+                detector=detector,
+                seed=1,
+            ).run()
+
+        assert execute(PerfectOracle()) == execute(
+            complement_gstandard(PerfectOracle())
+        )
+
+    def test_bad_g_mapping_rejected(self):
+        bad = GStandardOracle(
+            PerfectOracle(),
+            encode=lambda suspects, procs: suspects,
+            g=lambda raw: frozenset(),  # not the inverse
+        )
+        plan = CrashPlan.of({"p3": 2})
+        with pytest.raises(ValueError, match="identity"):
+            Executor(
+                PROCS,
+                uniform_protocol(StrongFDUDCProcess),
+                crash_plan=plan,
+                workload=single_action("p1", tick=1),
+                detector=bad,
+                seed=0,
+            ).run()
+
+    def test_g_suspects_at(self):
+        from repro.model.history import History
+
+        h = History(
+            [SuspectEvent("p1", StandardSuspicion(frozenset({"p2"})))]
+        )
+        assert g_suspects_at(h, g_complement) == frozenset({"p2"})
+        assert g_suspects_at(History(), g_complement) == frozenset()
+
+
+class TestHeartbeat:
+    def heartbeat_run(self, plan=CrashPlan.none(), seed=0, beat_count=12):
+        return Executor(
+            PROCS,
+            with_heartbeats(beat_count=beat_count),
+            crash_plan=plan,
+            seed=seed,
+        ).run()
+
+    def test_beacons_flow_and_are_bounded(self):
+        from repro.model.events import SendEvent
+
+        run = self.heartbeat_run()
+        sends = [
+            e
+            for e in run.events("p1")
+            if isinstance(e, SendEvent) and e.message.kind == HEARTBEAT
+        ]
+        assert 0 < len(sends) <= 12 * (len(PROCS) - 1)
+        assert not run.meta["hit_tick_cap"]
+
+    def test_derived_completeness_for_crashed(self):
+        run = self.heartbeat_run(plan=CrashPlan.of({"p3": 20}))
+        out = derive_heartbeat_suspicions(run, timeout=14)
+        # Within the beacon phase, every live process eventually stops
+        # hearing from p3 and suspects it in its final report.
+        for p in sorted(out.correct()):
+            latest = out.final_history(p).latest_suspicion(derived=True)
+            assert latest is not None
+            assert "p3" in latest.report.suspects
+
+    def test_false_suspicions_retract(self):
+        # Message-based detection cannot be perpetually accurate: with a
+        # slow channel a live process may be suspected -- but once its
+        # beacon lands the suspicion is withdrawn.
+        config = ExecutionConfig(
+            channel=ChannelConfig(drop_prob=0.7, max_consecutive_drops=4)
+        )
+        found_retraction = False
+        for seed in range(6):
+            run = Executor(
+                PROCS, with_heartbeats(beat_count=15), config=config, seed=seed
+            ).run()
+            out = derive_heartbeat_suspicions(run, timeout=10)
+            for p in PROCS:
+                reports = [
+                    e.report.suspects
+                    for _, e in out.timeline(p)
+                    if isinstance(e, SuspectEvent) and e.derived
+                ]
+                for earlier, later in zip(reports, reports[1:]):
+                    if earlier - later:
+                        found_retraction = True
+        assert found_retraction
+
+    def test_wrapper_composes_with_inner_protocol(self):
+        run = Executor(
+            PROCS,
+            with_heartbeats(uniform_protocol(NUDCProcess), beat_count=6),
+            workload=single_action("p1", tick=1),
+            seed=0,
+        ).run()
+        from repro.core.properties import nudc_holds
+
+        assert nudc_holds(run)
+
+
+class TestAtdOracle:
+    def atd_run(self, plan, seed=0):
+        from repro.core.protocols import AtdUDCProcess
+
+        workload = single_action("p1", tick=1) + post_crash_workload(
+            PROCS, plan, actions_per_survivor=1
+        )
+        return Executor(
+            PROCS,
+            uniform_protocol(AtdUDCProcess),
+            crash_plan=plan,
+            workload=workload,
+            detector=AtdRotatingOracle(rotation_period=10),
+            seed=seed,
+        ).run()
+
+    def test_atd_accuracy_holds(self):
+        for seed in range(3):
+            run = self.atd_run(CrashPlan.of({"p4": 6}), seed)
+            assert atd_accuracy(run)
+
+    def test_strong_completeness_holds(self):
+        run = self.atd_run(CrashPlan.of({"p4": 6}))
+        assert strong_completeness(run)
+
+    def test_weak_accuracy_violated_in_failure_free_run(self):
+        run = self.atd_run(CrashPlan.none())
+        assert not weak_accuracy(run)
+
+    def test_rotation_freezes(self):
+        oracle = AtdRotatingOracle(rotation_period=5, stop_after_windows=2)
+        run = Executor(
+            PROCS,
+            uniform_protocol(StrongFDUDCProcess),
+            workload=single_action("p1", tick=1),
+            detector=oracle,
+            seed=0,
+        ).run()
+        assert not run.meta["hit_tick_cap"]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            AtdRotatingOracle(rotation_period=0)

@@ -1,0 +1,210 @@
+"""Tests for the standard detector oracles: each class realises exactly
+its advertised accuracy/completeness pair on executor-generated runs."""
+
+import pytest
+
+from repro.core.protocols import StrongFDUDCProcess
+from repro.detectors.base import NoDetector, suspects_at, suspicion_history
+from repro.detectors.properties import (
+    impermanent_strong_completeness,
+    impermanent_weak_completeness,
+    strong_accuracy,
+    strong_completeness,
+    weak_accuracy,
+    weak_completeness,
+)
+from repro.detectors.standard import (
+    EventuallyWeakOracle,
+    ImpermanentStrongOracle,
+    ImpermanentWeakOracle,
+    LyingOracle,
+    NoisyStrongOracle,
+    PerfectOracle,
+    ScriptedFalseOracle,
+    StrongOracle,
+    WeakOracle,
+)
+from repro.model.context import make_process_ids
+from repro.model.events import SuspectEvent
+from repro.sim.executor import Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import post_crash_workload, single_action
+
+PROCS = make_process_ids(4)
+PLAN = CrashPlan.of({"p2": 5, "p4": 12})
+
+
+def run_with(detector, *, seed=0, plan=PLAN):
+    workload = single_action("p1", tick=1) + post_crash_workload(
+        PROCS, plan, actions_per_survivor=1
+    )
+    return Executor(
+        PROCS,
+        uniform_protocol(StrongFDUDCProcess),
+        crash_plan=plan,
+        workload=workload,
+        detector=detector,
+        seed=seed,
+    ).run()
+
+
+class TestPerfectOracle:
+    def test_perfect_properties(self):
+        for seed in range(3):
+            run = run_with(PerfectOracle(), seed=seed)
+            assert strong_accuracy(run)
+            assert strong_completeness(run)
+
+    def test_failure_free_run_emits_nothing(self):
+        run = run_with(PerfectOracle(), plan=CrashPlan.none())
+        assert not any(
+            isinstance(e, SuspectEvent) for p in PROCS for e in run.events(p)
+        )
+
+
+class TestStrongOracle:
+    def test_strong_properties(self):
+        for seed in range(3):
+            run = run_with(StrongOracle(), seed=seed)
+            assert weak_accuracy(run)
+            assert strong_completeness(run)
+
+    def test_not_strongly_accurate_somewhere(self):
+        # With the default false-positive rate, some run in a small
+        # sweep contains a false suspicion.
+        assert any(
+            not strong_accuracy(run_with(StrongOracle(), seed=seed))
+            for seed in range(6)
+        )
+
+    def test_immune_process_never_suspected(self):
+        # The immune process is the smallest planned-correct id: p1.
+        for seed in range(3):
+            run = run_with(StrongOracle(), seed=seed)
+            for p in PROCS:
+                for _, report in suspicion_history(run, p):
+                    assert "p1" not in report.suspects
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            StrongOracle(false_positive_rate=1.5)
+
+
+class TestWeakOracle:
+    def test_weak_properties(self):
+        for seed in range(3):
+            run = run_with(WeakOracle(), seed=seed)
+            assert weak_accuracy(run)
+            assert weak_completeness(run)
+
+    def test_not_strongly_complete(self):
+        # Only the witness suspects each faulty process; with two
+        # correct processes, the other one never does.
+        run = run_with(WeakOracle(), seed=0)
+        assert not strong_completeness(run)
+
+
+class TestImpermanentOracles:
+    def test_impermanent_strong(self):
+        run = run_with(ImpermanentStrongOracle(retract_after=5), seed=0)
+        assert impermanent_strong_completeness(run)
+        assert weak_accuracy(run)
+        assert not strong_completeness(run)  # retracted => not permanent
+
+    def test_impermanent_weak(self):
+        run = run_with(ImpermanentWeakOracle(retract_after=5), seed=0)
+        assert impermanent_weak_completeness(run)
+        assert weak_accuracy(run)
+
+    def test_retraction_visible_in_reports(self):
+        run = run_with(ImpermanentStrongOracle(retract_after=5), seed=0)
+        # Some process's final suspicion set is empty even though there
+        # are faulty processes.
+        finals = [suspects_at(run.final_history(p)) for p in run.correct()]
+        assert any(s == frozenset() for s in finals)
+
+
+class TestEventuallyWeakOracle:
+    def test_noise_then_stabilization(self):
+        oracle = EventuallyWeakOracle(stabilization_tick=25, noise_rate=0.5)
+        run = run_with(oracle, seed=1)
+        # Early reports may be wrong; after stabilization the most
+        # recent reports coincide with the crashed set.
+        for p in sorted(run.correct()):
+            final = suspects_at(run.final_history(p))
+            assert final == run.faulty()
+
+    def test_noise_violates_accuracy_before_stabilization(self):
+        oracle = EventuallyWeakOracle(stabilization_tick=40, noise_rate=0.9)
+        violated = any(
+            not strong_accuracy(run_with(oracle, seed=seed)) for seed in range(4)
+        )
+        assert violated
+
+
+class TestNegativeControls:
+    def test_noisy_strong_violates_weak_accuracy(self):
+        violated = any(
+            not weak_accuracy(run_with(NoisyStrongOracle(error_rate=0.8), seed=s))
+            for s in range(4)
+        )
+        assert violated
+
+    def test_noisy_strong_still_complete(self):
+        run = run_with(NoisyStrongOracle(error_rate=0.5), seed=0)
+        assert strong_completeness(run)
+
+    def test_lying_oracle_violates_accuracy(self):
+        assert any(
+            not strong_accuracy(run_with(LyingOracle(), seed=s)) for s in range(3)
+        )
+
+    def test_scripted_oracle_fixed_targets(self):
+        oracle = ScriptedFalseOracle(frozenset({"p3"}))
+        run = run_with(oracle, seed=0)
+        suspected = set()
+        for p in PROCS:
+            for _, report in suspicion_history(run, p):
+                suspected |= report.suspects
+        assert suspected <= {"p3"} | PLAN.faulty
+
+    def test_no_detector(self):
+        run = run_with(NoDetector(), seed=0)
+        assert not any(
+            isinstance(e, SuspectEvent) for p in PROCS for e in run.events(p)
+        )
+
+
+class TestFreshness:
+    def test_fresh_resets_state(self):
+        oracle = StrongOracle()
+        fresh1 = oracle.fresh()
+        fresh1._last_emitted["p1"] = frozenset({"p2"})
+        fresh1._false["p1"] = {"p2"}
+        fresh2 = oracle.fresh()
+        assert fresh2._last_emitted == {}
+        assert fresh2._false == {}
+
+    def test_executor_uses_fresh_copy(self):
+        oracle = ImpermanentStrongOracle()
+        run1 = run_with(oracle, seed=0)
+        run2 = run_with(oracle, seed=0)
+        assert run1 == run2  # shared oracle state would break determinism
+
+
+class TestSuspectsAt:
+    def test_empty_history(self):
+        from repro.model.history import History
+
+        assert suspects_at(History()) == frozenset()
+
+    def test_most_recent_wins(self):
+        run = run_with(ImpermanentStrongOracle(retract_after=4), seed=0)
+        # Walk one correct process's history: after a retraction, the
+        # current suspicion set must reflect the latest (empty) report.
+        p = min(run.correct())
+        reports = list(suspicion_history(run, p))
+        if len(reports) >= 2:
+            final = suspects_at(run.final_history(p))
+            assert final == reports[-1][1].suspects

@@ -1,0 +1,26 @@
+"""Tests for the markdown report generator."""
+
+from repro.harness.report import generate_report, main
+
+
+class TestGenerateReport:
+    def test_subset_report(self):
+        text = generate_report(["A14", "A15"])
+        assert "# Reproduction report" in text
+        assert "2/2 experiments passed" in text
+        assert "## A14" in text and "## A15" in text
+        assert "| check / metric | value |" in text
+
+    def test_table1_embedded_for_e09(self):
+        text = generate_report(["E09"])
+        assert "shape matches paper" in text
+
+    def test_case_insensitive_ids(self):
+        text = generate_report(["a14"])
+        assert "## A14" in text
+
+    def test_main_writes_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        main(str(out), ["A14"])
+        assert out.exists()
+        assert "## A14" in out.read_text()

@@ -1,0 +1,137 @@
+"""Tests for the run-metrics module."""
+
+from repro.core.protocols import StrongFDUDCProcess
+from repro.detectors.standard import PerfectOracle
+from repro.harness.stats import (
+    RunStats,
+    SeriesPoint,
+    action_latency,
+    completion_latency,
+    detection_latency,
+    messages_per_action,
+    render_series,
+)
+from repro.model.context import make_process_ids
+from repro.model.events import (
+    CrashEvent,
+    DoEvent,
+    InitEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+    StandardSuspicion,
+    SuspectEvent,
+)
+from repro.model.run import Run
+from repro.sim.executor import Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(4)
+SMALL = ("p1", "p2", "p3")
+A = ("p1", "a")
+
+
+def protocol_run(seed=0):
+    return Executor(
+        PROCS,
+        uniform_protocol(StrongFDUDCProcess),
+        crash_plan=CrashPlan.of({"p3": 8}),
+        workload=single_action("p1", tick=1),
+        detector=PerfectOracle(),
+        seed=seed,
+    ).run()
+
+
+def tiny_run():
+    msg = Message("m")
+    return Run(
+        SMALL,
+        {
+            "p1": [
+                (1, InitEvent("p1", A)),
+                (2, SendEvent("p1", "p2", msg)),
+                (3, DoEvent("p1", A)),
+            ],
+            "p2": [(5, ReceiveEvent("p2", "p1", msg)), (7, DoEvent("p2", A))],
+            "p3": [(4, CrashEvent("p3"))],
+        },
+        duration=10,
+    )
+
+
+class TestRunStats:
+    def test_counts(self):
+        stats = RunStats.of(tiny_run())
+        assert stats.sends == 1
+        assert stats.receives == 1
+        assert stats.do_events == 2
+        assert stats.faulty == 1
+        assert stats.delivery_ratio == 1.0
+
+    def test_protocol_run_ratio(self):
+        stats = RunStats.of(protocol_run())
+        assert 0 < stats.delivery_ratio <= 1.0
+        assert stats.suspect_events > 0
+
+    def test_no_sends_ratio(self):
+        r = Run(SMALL, {"p1": [], "p2": [], "p3": []}, duration=2)
+        assert RunStats.of(r).delivery_ratio == 1.0
+
+
+class TestLatencies:
+    def test_action_latency(self):
+        lat = action_latency(tiny_run(), A)
+        assert lat == {"p1": 2, "p2": 6}
+
+    def test_action_latency_unknown_action(self):
+        assert action_latency(tiny_run(), ("p9", "z")) == {}
+
+    def test_completion_latency_is_max_over_correct(self):
+        assert completion_latency(tiny_run(), A) == 6
+
+    def test_completion_none_when_correct_missing(self):
+        r = Run(
+            SMALL,
+            {"p1": [(1, InitEvent("p1", A)), (3, DoEvent("p1", A))], "p2": [], "p3": []},
+            duration=6,
+        )
+        assert completion_latency(r, A) is None
+
+    def test_detection_latency(self):
+        r = Run(
+            SMALL,
+            {
+                "p3": [(4, CrashEvent("p3"))],
+                "p1": [
+                    (
+                        9,
+                        SuspectEvent("p1", StandardSuspicion(frozenset({"p3"}))),
+                    )
+                ],
+                "p2": [],
+            },
+            duration=12,
+        )
+        assert detection_latency(r) == {"p3": 5}
+
+    def test_detection_latency_on_protocol_run(self):
+        lat = detection_latency(protocol_run())
+        assert set(lat) == {"p3"}
+        assert lat["p3"] >= 0
+
+
+class TestCostMetrics:
+    def test_messages_per_action(self):
+        assert messages_per_action(tiny_run()) == 1.0
+
+    def test_series_point(self):
+        pt = SeriesPoint.of(4, [1.0, 3.0])
+        assert pt.mean == 2.0 and pt.minimum == 1.0 and pt.maximum == 3.0
+
+    def test_render_series(self):
+        text = render_series(
+            "title", "x", "y", [SeriesPoint.of(1, [2.0]), SeriesPoint.of(2, [4.0])]
+        )
+        assert "title" in text and "2.00" in text and "4.00" in text

@@ -1,0 +1,70 @@
+"""Unit tests for Table 1's plumbing (regime arithmetic, cell verdicts)."""
+
+import pytest
+
+from repro.harness.table1 import Cell, Table1, _t_for_regime
+
+
+class TestRegimeArithmetic:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(4, 1), (5, 2), (6, 2), (7, 3)],
+    )
+    def test_small_regime_below_half(self, n, expected):
+        t = _t_for_regime(n, "t < n/2")
+        assert t == expected
+        assert 2 * t < n
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_middle_regime_bounds(self, n):
+        t = _t_for_regime(n, "n/2 <= t < n-1")
+        assert 2 * t >= n
+        assert t < n - 1
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_large_regime(self, n):
+        assert _t_for_regime(n, "t >= n-1") == n - 1
+
+
+class TestCellVerdicts:
+    def test_plain_ok(self):
+        cell = Cell("Reliable", "UDC", "t < n/2", "no FD", True)
+        assert cell.verdict == "OK"
+        assert cell.matches_paper
+
+    def test_sufficiency_failure(self):
+        cell = Cell("Reliable", "UDC", "t < n/2", "no FD", False)
+        assert cell.verdict == "FAIL"
+        assert not cell.matches_paper
+
+    def test_necessity_confirmed(self):
+        cell = Cell(
+            "Unreliable",
+            "UDC",
+            "n/2 <= t < n-1",
+            "t-useful",
+            True,
+            weaker_detector="no FD",
+            weaker_fails=True,
+        )
+        assert cell.verdict == "OK; weaker fails"
+        assert cell.matches_paper
+
+    def test_necessity_refuted_flags_mismatch(self):
+        cell = Cell(
+            "Unreliable",
+            "UDC",
+            "n/2 <= t < n-1",
+            "t-useful",
+            True,
+            weaker_detector="no FD",
+            weaker_fails=False,
+        )
+        assert "SUFFICES?" in cell.verdict
+        assert not cell.matches_paper
+
+    def test_table_aggregates(self):
+        good = Cell("Reliable", "UDC", "t < n/2", "no FD", True)
+        bad = Cell("Reliable", "UDC", "t >= n-1", "no FD", False)
+        assert Table1(n=5, cells=[good]).matches_paper
+        assert not Table1(n=5, cells=[good, bad]).matches_paper

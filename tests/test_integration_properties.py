@@ -1,0 +1,140 @@
+"""Property-based end-to-end tests: the paper's invariants hold for
+arbitrary adversaries (seeds, crash plans, channel parameters)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.properties import nudc_holds, udc_holds
+from repro.core.protocols import (
+    NUDCProcess,
+    ReliableUDCProcess,
+    StrongFDUDCProcess,
+)
+from repro.detectors.properties import strong_accuracy, strong_completeness
+from repro.detectors.standard import PerfectOracle, StrongOracle
+from repro.model.context import ChannelSemantics, make_process_ids
+from repro.model.run import validate_run
+from repro.sim.executor import ExecutionConfig, Executor
+from repro.sim.failures import CrashPlan, sample_crash_plan
+from repro.sim.network import ChannelConfig
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(4)
+
+
+def random_plan(seed: int, max_failures=None) -> CrashPlan:
+    return sample_crash_plan(
+        random.Random(seed),
+        PROCS,
+        max_failures=max_failures,
+        crash_prob=0.45,
+        horizon=25,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6))
+def test_nudc_invariant_under_arbitrary_adversary(seed, plan_seed):
+    """Prop 2.3 as a property: nUDC holds for every seed and crash plan."""
+    run = Executor(
+        PROCS,
+        uniform_protocol(NUDCProcess),
+        crash_plan=random_plan(plan_seed),
+        workload=single_action("p1", tick=1),
+        seed=seed,
+    ).run()
+    assert nudc_holds(run), nudc_holds(run).witness
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6))
+def test_reliable_udc_invariant(seed, plan_seed):
+    """Prop 2.4 as a property: UDC holds under reliable channels."""
+    run = Executor(
+        PROCS,
+        uniform_protocol(ReliableUDCProcess),
+        crash_plan=random_plan(plan_seed),
+        workload=single_action("p1", tick=1),
+        config=ExecutionConfig(
+            channel=ChannelConfig(semantics=ChannelSemantics.RELIABLE)
+        ),
+        seed=seed,
+    ).run()
+    assert udc_holds(run), udc_holds(run).witness
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6))
+def test_strong_fd_udc_invariant(seed, plan_seed):
+    """Prop 3.1 as a property: UDC holds with a strong detector under
+    fair-lossy channels, any number of failures."""
+    run = Executor(
+        PROCS,
+        uniform_protocol(StrongFDUDCProcess),
+        crash_plan=random_plan(plan_seed),
+        workload=single_action("p1", tick=1),
+        detector=StrongOracle(),
+        seed=seed,
+    ).run()
+    assert udc_holds(run), udc_holds(run).witness
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(0, 10**6),
+    st.integers(0, 10**6),
+    st.floats(0.0, 0.7),
+    st.integers(0, 6),
+)
+def test_executor_output_always_wellformed(seed, plan_seed, drop_prob, budget):
+    """Every run the executor produces satisfies R1-R5 (the validator is
+    on by default; this re-checks explicitly across channel parameters)."""
+    config = ExecutionConfig(
+        channel=ChannelConfig(drop_prob=drop_prob, max_consecutive_drops=budget)
+    )
+    run = Executor(
+        PROCS,
+        uniform_protocol(NUDCProcess),
+        crash_plan=random_plan(plan_seed),
+        workload=single_action("p1", tick=1),
+        config=config,
+        seed=seed,
+    ).run()
+    validate_run(run, r5_send_threshold=budget + 2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_perfect_oracle_invariants(plan_seed):
+    """The perfect oracle is perfect under every failure pattern."""
+    plan = random_plan(plan_seed, max_failures=3)
+    run = Executor(
+        PROCS,
+        uniform_protocol(StrongFDUDCProcess),
+        crash_plan=plan,
+        workload=single_action("p1", tick=1),
+        detector=PerfectOracle(),
+        seed=plan_seed % 97,
+    ).run()
+    assert strong_accuracy(run), strong_accuracy(run).witness
+    assert strong_completeness(run), strong_completeness(run).witness
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6))
+def test_determinism_property(seed, plan_seed):
+    """Same (protocol, plan, workload, seed) -> identical runs."""
+    def once():
+        return Executor(
+            PROCS,
+            uniform_protocol(StrongFDUDCProcess),
+            crash_plan=random_plan(plan_seed),
+            workload=single_action("p1", tick=1),
+            detector=StrongOracle(),
+            seed=seed,
+        ).run()
+
+    assert once() == once()

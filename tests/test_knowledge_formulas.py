@@ -1,0 +1,112 @@
+"""Unit tests for the formula AST: locality and stability bookkeeping."""
+
+from repro.knowledge.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Box,
+    Crashed,
+    Diamond,
+    Did,
+    Iff,
+    Implies,
+    Inited,
+    Knows,
+    Not,
+    Or,
+    Received,
+    Sent,
+)
+
+
+class TestPrimitives:
+    def test_event_primitives_are_local_and_stable(self):
+        for formula, owner in [
+            (Inited("p1", "a"), "p1"),
+            (Did("p2", "a"), "p2"),
+            (Crashed("p3"), "p3"),
+            (Sent("p1", "p2"), "p1"),
+            (Received("p2", "p1"), "p2"),
+        ]:
+            assert formula.locality == owner
+            assert formula.syntactically_stable
+
+    def test_constants(self):
+        assert TRUE.value and not FALSE.value
+        assert TRUE.syntactically_stable
+        assert not FALSE.syntactically_stable
+
+    def test_atom_declarations_respected(self):
+        a = Atom("x", lambda pt: True, locality="p1", stable=True)
+        assert a.locality == "p1"
+        assert a.syntactically_stable
+        b = Atom("y", lambda pt: True)
+        assert b.locality is None
+        assert not b.syntactically_stable
+
+
+class TestConnectives:
+    def test_negation_keeps_locality_drops_stability(self):
+        f = Not(Crashed("p1"))
+        assert f.locality == "p1"
+        assert not f.syntactically_stable
+
+    def test_conjunction_locality_shared(self):
+        same = And(Crashed("p1"), Inited("p1", "a"))
+        assert same.locality == "p1"
+        mixed = And(Crashed("p1"), Crashed("p2"))
+        assert mixed.locality is None
+
+    def test_conjunction_stability(self):
+        assert And(Crashed("p1"), Inited("p1", "a")).syntactically_stable
+        assert not And(Crashed("p1"), Not(Crashed("p2"))).syntactically_stable
+
+    def test_and_or_flatten(self):
+        f = And(And(Crashed("p1"), Crashed("p2")), Crashed("p3"))
+        assert len(f.parts) == 3
+        g = Or(Or(Crashed("p1"), Crashed("p2")), Crashed("p3"))
+        assert len(g.parts) == 3
+
+    def test_operator_sugar(self):
+        f = Crashed("p1") & Crashed("p2")
+        assert isinstance(f, And)
+        g = Crashed("p1") | Crashed("p2")
+        assert isinstance(g, Or)
+        h = ~Crashed("p1")
+        assert isinstance(h, Not)
+        i = Crashed("p1").implies(Crashed("p2"))
+        assert isinstance(i, Implies)
+
+    def test_iff_expansion(self):
+        f = Iff(Crashed("p1"), Crashed("p2"))
+        assert isinstance(f, And)
+        assert len(f.parts) == 2
+
+
+class TestTemporalAndEpistemic:
+    def test_box_is_stable_not_local(self):
+        f = Box(Crashed("p1"))
+        assert f.syntactically_stable
+        assert f.locality is None
+
+    def test_diamond_is_neither(self):
+        f = Diamond(Crashed("p1"))
+        assert not f.syntactically_stable
+        assert f.locality is None
+
+    def test_knows_local_to_knower(self):
+        f = Knows("p2", Crashed("p1"))
+        assert f.locality == "p2"
+
+    def test_knowledge_of_stable_local_fact_is_stable(self):
+        assert Knows("p2", Crashed("p1")).syntactically_stable
+        assert not Knows("p2", Not(Crashed("p1"))).syntactically_stable
+
+    def test_labels_render(self):
+        f = Implies(
+            Knows("p2", Inited("p1", "a")),
+            Diamond(Or(Did("p2", "a"), Crashed("p2"))),
+        )
+        text = f.label()
+        assert "K_p2" in text and "<>" in text and "do_p2" in text

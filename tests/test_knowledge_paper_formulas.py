@@ -1,0 +1,123 @@
+"""Direct unit tests for the paper's formula builders."""
+
+from repro.knowledge.formulas import And, Implies, Knows
+from repro.knowledge.paper_formulas import (
+    dc1_formula,
+    dc2_formula,
+    dc2_prime_formula,
+    dc3_formula,
+    knows_crashed,
+    prop_3_5,
+)
+from repro.knowledge.semantics import ModelChecker
+from repro.model.events import CrashEvent, DoEvent, InitEvent
+from repro.model.run import Run
+from repro.model.system import System
+
+PROCS = ("p1", "p2", "p3")
+A = ("p1", "a")
+
+
+def system_of(*runs):
+    return System(list(runs))
+
+
+def run_all_do():
+    return Run(
+        PROCS,
+        {
+            "p1": [(1, InitEvent("p1", A)), (3, DoEvent("p1", A))],
+            "p2": [(5, DoEvent("p2", A))],
+            "p3": [(6, DoEvent("p3", A))],
+        },
+        duration=8,
+    )
+
+
+def run_partial_do():
+    return Run(
+        PROCS,
+        {
+            "p1": [(1, InitEvent("p1", A)), (3, DoEvent("p1", A))],
+            "p2": [],
+            "p3": [(6, DoEvent("p3", A))],
+        },
+        duration=8,
+    )
+
+
+class TestStructure:
+    def test_dc2_has_n_squared_clauses(self):
+        f = dc2_formula(PROCS, A)
+        assert isinstance(f, And)
+        assert len(f.parts) == 9
+
+    def test_dc3_has_n_clauses(self):
+        f = dc3_formula(PROCS, A)
+        assert len(f.parts) == 3
+
+    def test_dc1_is_implication(self):
+        assert isinstance(dc1_formula(A), Implies)
+
+    def test_prop_3_5_shape(self):
+        f = prop_3_5(PROCS, "p2", A)
+        assert isinstance(f, Implies)
+        assert isinstance(f.antecedent, Knows)
+        assert f.antecedent.process == "p2"
+        assert isinstance(f.consequent, Knows)
+
+    def test_knows_crashed(self):
+        f = knows_crashed("p1", "p3")
+        assert isinstance(f, Knows)
+        assert f.process == "p1"
+        assert "crash(p3)" in f.label()
+
+
+class TestSemantics:
+    def test_dc2_distinguishes_runs(self):
+        good = run_all_do()
+        bad = run_partial_do()
+        mc = ModelChecker(system_of(good, bad))
+        from repro.model.run import Point
+
+        f = dc2_formula(PROCS, A)
+        # The implication is vacuous before any do event; the validity
+        # bites at points where some process has performed.
+        assert mc.holds(f, Point(good, 0))
+        assert mc.holds(f, Point(good, 3))
+        assert mc.holds(f, Point(bad, 0))  # vacuously: nobody has done yet
+        assert not mc.holds(f, Point(bad, 3))  # p1 did; p2 never will
+
+    def test_dc2_prime_excuses_crash(self):
+        excused = Run(
+            PROCS,
+            {
+                "p1": [
+                    (1, InitEvent("p1", A)),
+                    (3, DoEvent("p1", A)),
+                    (4, CrashEvent("p1")),
+                ],
+                "p2": [],
+                "p3": [],
+            },
+            duration=8,
+        )
+        mc = ModelChecker(system_of(excused))
+        from repro.model.run import Point
+
+        assert not mc.holds(dc2_formula(PROCS, A), Point(excused, 3))
+        assert mc.holds(dc2_prime_formula(PROCS, A), Point(excused, 3))
+
+    def test_dc1_vacuous_without_init(self):
+        empty = Run(PROCS, {"p1": [], "p2": [], "p3": []}, duration=4)
+        mc = ModelChecker(system_of(empty))
+        assert mc.valid(dc1_formula(A))
+
+    def test_dc3_rejects_spontaneous_do(self):
+        rogue = Run(
+            PROCS,
+            {"p1": [], "p2": [(3, DoEvent("p2", A))], "p3": []},
+            duration=6,
+        )
+        mc = ModelChecker(system_of(rogue))
+        assert not mc.valid(dc3_formula(PROCS, A))

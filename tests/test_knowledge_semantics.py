@@ -1,0 +1,235 @@
+"""Tests for the model checker: truth, temporal sweep, knowledge, axioms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knowledge.analysis import (
+    negative_introspection,
+    positive_introspection,
+)
+from repro.knowledge.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Box,
+    Crashed,
+    Diamond,
+    Did,
+    Implies,
+    Inited,
+    Knows,
+    Not,
+    Or,
+    Received,
+    Sent,
+)
+from repro.knowledge.semantics import ModelChecker
+from repro.model.events import (
+    CrashEvent,
+    DoEvent,
+    InitEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+)
+from repro.model.run import Point, Run
+from repro.model.system import System
+
+PROCS = ("p1", "p2", "p3")
+MSG = Message("m")
+
+
+def crash_run():
+    """p3 crashes; p1 learns via a message at time 4."""
+    return Run(
+        PROCS,
+        {
+            "p1": [(4, ReceiveEvent("p1", "p2", MSG)), (6, DoEvent("p1", "x"))],
+            "p2": [(1, InitEvent("p2", ("p2", "x"))), (3, SendEvent("p2", "p1", MSG))],
+            "p3": [(2, CrashEvent("p3"))],
+        },
+        duration=8,
+    )
+
+
+def quiet_run():
+    """Same prefix for p1 up to time 3, no crash, no message."""
+    return Run(
+        PROCS,
+        {
+            "p1": [],
+            "p2": [(1, InitEvent("p2", ("p2", "x"))), (3, SendEvent("p2", "p1", MSG))],
+            "p3": [],
+        },
+        duration=8,
+    )
+
+
+def checker():
+    return ModelChecker(System([crash_run(), quiet_run()]))
+
+
+class TestPrimitiveTruth:
+    def test_constants(self):
+        mc = checker()
+        pt = Point(crash_run(), 0)
+        assert mc.holds(TRUE, pt)
+        assert not mc.holds(FALSE, pt)
+
+    def test_event_primitives_track_history(self):
+        mc = checker()
+        r = crash_run()
+        assert not mc.holds(Crashed("p3"), Point(r, 1))
+        assert mc.holds(Crashed("p3"), Point(r, 2))
+        assert mc.holds(Inited("p2", ("p2", "x")), Point(r, 1))
+        assert mc.holds(Sent("p2", "p1", MSG), Point(r, 3))
+        assert not mc.holds(Sent("p2", "p3"), Point(r, 8))
+        assert mc.holds(Received("p1", "p2"), Point(r, 4))
+        assert mc.holds(Did("p1", "x"), Point(r, 6))
+
+    def test_atom_fn(self):
+        mc = checker()
+        even = Atom("even-time", lambda pt: pt.time % 2 == 0)
+        assert mc.holds(even, Point(crash_run(), 4))
+        assert not mc.holds(even, Point(crash_run(), 5))
+
+    def test_time_beyond_duration_clamps(self):
+        mc = checker()
+        assert mc.holds(Crashed("p3"), Point(crash_run(), 1000))
+
+
+class TestConnectives:
+    def test_boolean_table(self):
+        mc = checker()
+        pt = Point(crash_run(), 5)
+        c = Crashed("p3")
+        n = Crashed("p1")
+        assert mc.holds(And(c, Not(n)), pt)
+        assert mc.holds(Or(n, c), pt)
+        assert mc.holds(Implies(n, FALSE), pt)
+        assert not mc.holds(And(c, n), pt)
+
+
+class TestTemporal:
+    def test_diamond_looks_forward(self):
+        mc = checker()
+        r = crash_run()
+        assert mc.holds(Diamond(Crashed("p3")), Point(r, 0))
+        assert mc.holds(Diamond(Did("p1", "x")), Point(r, 0))
+        assert not mc.holds(Diamond(Crashed("p1")), Point(r, 0))
+
+    def test_box_requires_suffix(self):
+        mc = checker()
+        r = crash_run()
+        assert mc.holds(Box(Crashed("p3")), Point(r, 2))
+        assert not mc.holds(Box(Crashed("p3")), Point(r, 1))
+
+    def test_final_cut_repeats_forever(self):
+        # Box phi at the duration is phi at the duration.
+        mc = checker()
+        r = crash_run()
+        assert mc.holds(Box(Crashed("p3")), Point(r, r.duration))
+        assert mc.holds(Box(Not(Crashed("p1"))), Point(r, 0))
+
+    def test_diamond_box_duality(self):
+        mc = checker()
+        r = crash_run()
+        phi = Crashed("p3")
+        for m in range(r.duration + 1):
+            pt = Point(r, m)
+            assert mc.holds(Diamond(phi), pt) == (
+                not mc.holds(Box(Not(phi)), pt)
+            )
+
+
+class TestKnowledge:
+    def test_no_knowledge_before_evidence(self):
+        mc = checker()
+        # At time 3, p1's history is empty in both runs.
+        assert not mc.holds(Knows("p1", Crashed("p3")), Point(crash_run(), 3))
+
+    def test_knowledge_after_distinguishing_event(self):
+        mc = checker()
+        assert mc.holds(Knows("p1", Crashed("p3")), Point(crash_run(), 4))
+
+    def test_self_knowledge_of_local_state(self):
+        mc = checker()
+        assert mc.holds(
+            Knows("p2", Inited("p2", ("p2", "x"))), Point(crash_run(), 1)
+        )
+
+    def test_nested_knowledge(self):
+        mc = checker()
+        # p2 cannot know whether p1 knows about the crash (its own
+        # history is identical in both runs).
+        f = Knows("p2", Knows("p1", Crashed("p3")))
+        assert not mc.holds(f, Point(crash_run(), 5))
+
+    def test_veridicality(self):
+        mc = checker()
+        f = Implies(Knows("p1", Crashed("p3")), Crashed("p3"))
+        assert mc.valid(f)
+
+    def test_introspection_axioms(self):
+        mc = checker()
+        assert positive_introspection(mc, Crashed("p3"), "p1")
+        assert negative_introspection(mc, Crashed("p3"), "p1")
+
+
+class TestValidity:
+    def test_valid_and_counterexample(self):
+        mc = checker()
+        assert mc.valid(TRUE)
+        cx = mc.counterexample(Crashed("p3"))
+        assert cx is not None and cx.time == 0
+
+    def test_satisfiable(self):
+        mc = checker()
+        sat = mc.satisfiable(And(Crashed("p3"), Received("p1", "p2")))
+        assert sat is not None
+        assert sat.time >= 4
+        assert mc.satisfiable(Crashed("p1")) is None
+
+
+class TestCachingRegression:
+    def test_distinct_formulas_do_not_collide(self):
+        """Regression: caches were once keyed by id(formula); after GC a
+        fresh formula could inherit a dead formula's cache entries."""
+        mc = checker()
+        pt = Point(crash_run(), 4)
+        # Evaluate and discard many formulas to churn ids.
+        for i in range(50):
+            mc.holds(And(Crashed("p3"), Atom(f"a{i}", lambda pt: True)), pt)
+        assert not mc.holds(Crashed("p1"), pt)
+        assert mc.holds(Crashed("p3"), pt)
+
+    def test_cache_consistency_across_points(self):
+        mc = checker()
+        f = Knows("p1", Crashed("p3"))
+        first = [mc.holds(f, Point(crash_run(), m)) for m in range(9)]
+        second = [mc.holds(f, Point(crash_run(), m)) for m in range(9)]
+        assert first == second
+        assert first == [False] * 4 + [True] * 5
+
+
+class TestKnowledgeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 8), st.sampled_from(PROCS))
+    def test_knowledge_of_stable_facts_is_monotone(self, m, observer):
+        """K_p of a stable formula never flips back to false."""
+        mc = checker()
+        f = Knows(observer, Crashed("p3"))
+        r = crash_run()
+        if mc.holds(f, Point(r, m)):
+            for later in range(m, r.duration + 1):
+                assert mc.holds(f, Point(r, later))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 8), st.sampled_from(PROCS), st.sampled_from(PROCS))
+    def test_veridicality_everywhere(self, m, observer, target):
+        mc = checker()
+        for r in (crash_run(), quiet_run()):
+            pt = Point(r, m)
+            if mc.holds(Knows(observer, Crashed(target)), pt):
+                assert mc.holds(Crashed(target), pt)

@@ -1,0 +1,101 @@
+"""Unit tests for the event alphabet."""
+
+import pytest
+
+from repro.model.events import (
+    CrashEvent,
+    DoEvent,
+    GeneralizedSuspicion,
+    InitEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+    StandardSuspicion,
+    SuspectEvent,
+    event_process,
+)
+
+
+class TestMessage:
+    def test_equality_by_value(self):
+        assert Message("alpha", ("p1", "a")) == Message("alpha", ("p1", "a"))
+
+    def test_inequality_on_kind(self):
+        assert Message("alpha", 1) != Message("ack", 1)
+
+    def test_hashable(self):
+        assert len({Message("x"), Message("x"), Message("y")}) == 2
+
+    def test_default_payload_is_none(self):
+        assert Message("hb").payload is None
+
+
+class TestEventOwnership:
+    def test_send_belongs_to_sender(self):
+        e = SendEvent("p1", "p2", Message("m"))
+        assert event_process(e) == "p1"
+
+    def test_receive_belongs_to_receiver(self):
+        e = ReceiveEvent("p2", "p1", Message("m"))
+        assert event_process(e) == "p2"
+
+    def test_do_init_crash_belong_to_process(self):
+        assert event_process(DoEvent("p3", "a")) == "p3"
+        assert event_process(InitEvent("p3", "a")) == "p3"
+        assert event_process(CrashEvent("p3")) == "p3"
+
+    def test_suspect_belongs_to_process(self):
+        e = SuspectEvent("p1", StandardSuspicion(frozenset({"p2"})))
+        assert event_process(e) == "p1"
+
+
+class TestSuspicions:
+    def test_standard_suspicion_coerces_to_frozenset(self):
+        s = StandardSuspicion({"p1", "p2"})
+        assert isinstance(s.suspects, frozenset)
+
+    def test_standard_suspicion_equality(self):
+        assert StandardSuspicion(frozenset({"p1"})) == StandardSuspicion({"p1"})
+
+    def test_generalized_requires_k_at_most_size(self):
+        with pytest.raises(ValueError):
+            GeneralizedSuspicion(frozenset({"p1"}), 2)
+
+    def test_generalized_requires_nonnegative_k(self):
+        with pytest.raises(ValueError):
+            GeneralizedSuspicion(frozenset({"p1"}), -1)
+
+    def test_generalized_k_zero_allowed(self):
+        # The trivial (S, 0) reports of the Gopal-Toueg construction.
+        s = GeneralizedSuspicion(frozenset({"p1", "p2"}), 0)
+        assert s.count == 0
+
+    def test_generalized_k_equal_size_allowed(self):
+        s = GeneralizedSuspicion(frozenset({"p1", "p2"}), 2)
+        assert s.count == 2
+
+    def test_suspect_event_derived_flag_default_false(self):
+        e = SuspectEvent("p1", StandardSuspicion(frozenset()))
+        assert e.derived is False
+
+    def test_derived_and_original_events_differ(self):
+        report = StandardSuspicion(frozenset({"p2"}))
+        assert SuspectEvent("p1", report, derived=True) != SuspectEvent("p1", report)
+
+
+class TestImmutability:
+    def test_events_are_frozen(self):
+        e = DoEvent("p1", "a")
+        with pytest.raises(AttributeError):
+            e.action = "b"
+
+    def test_events_are_hashable(self):
+        events = {
+            SendEvent("p1", "p2", Message("m")),
+            ReceiveEvent("p2", "p1", Message("m")),
+            DoEvent("p1", "a"),
+            InitEvent("p1", "a"),
+            CrashEvent("p1"),
+            SuspectEvent("p1", StandardSuspicion(frozenset())),
+        }
+        assert len(events) == 6

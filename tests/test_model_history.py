@@ -1,0 +1,198 @@
+"""Unit + property tests for histories and cuts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.events import (
+    CrashEvent,
+    DoEvent,
+    InitEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+    StandardSuspicion,
+    SuspectEvent,
+)
+from repro.model.history import EMPTY_HISTORY, Cut, History
+
+
+def simple_events():
+    """Hypothesis strategy over non-crash events for process p1."""
+    sends = st.builds(
+        SendEvent,
+        st.just("p1"),
+        st.sampled_from(["p2", "p3"]),
+        st.builds(Message, st.sampled_from(["a", "b"]), st.integers(0, 3)),
+    )
+    dos = st.builds(DoEvent, st.just("p1"), st.sampled_from(["x", "y"]))
+    return st.one_of(sends, dos)
+
+
+class TestHistoryBasics:
+    def test_empty_history(self):
+        assert len(EMPTY_HISTORY) == 0
+        assert EMPTY_HISTORY.last is None
+        assert not EMPTY_HISTORY.crashed
+
+    def test_append_returns_new_history(self):
+        h = History()
+        h2 = h.append(DoEvent("p1", "a"))
+        assert len(h) == 0
+        assert len(h2) == 1
+        assert h2.last == DoEvent("p1", "a")
+
+    def test_append_after_crash_raises(self):
+        h = History().append(CrashEvent("p1"))
+        with pytest.raises(ValueError):
+            h.append(DoEvent("p1", "a"))
+
+    def test_equality_and_hash(self):
+        a = History([DoEvent("p1", "a")])
+        b = History().append(DoEvent("p1", "a"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_slicing_returns_history(self):
+        h = History([DoEvent("p1", "a"), DoEvent("p1", "b")])
+        prefix = h[:1]
+        assert isinstance(prefix, History)
+        assert prefix.is_prefix_of(h)
+
+    def test_crashed_property(self):
+        h = History([DoEvent("p1", "a"), CrashEvent("p1")])
+        assert h.crashed
+
+
+class TestHistoryQueries:
+    def setup_method(self):
+        self.msg = Message("alpha", "x")
+        self.h = History(
+            [
+                InitEvent("p1", "x"),
+                SendEvent("p1", "p2", self.msg),
+                ReceiveEvent("p1", "p3", Message("ack", "x")),
+                DoEvent("p1", "x"),
+            ]
+        )
+
+    def test_did(self):
+        assert self.h.did("x")
+        assert not self.h.did("y")
+
+    def test_inited(self):
+        assert self.h.inited("x")
+        assert not self.h.inited("y")
+
+    def test_sent(self):
+        assert self.h.sent("p2")
+        assert self.h.sent("p2", self.msg)
+        assert not self.h.sent("p3")
+        assert not self.h.sent("p2", Message("other"))
+
+    def test_received(self):
+        assert self.h.received("p3")
+        assert self.h.received("p3", Message("ack", "x"))
+        assert not self.h.received("p2")
+
+    def test_count_multiplicity(self):
+        h = self.h.append(SendEvent("p1", "p2", self.msg))
+        assert h.count(SendEvent("p1", "p2", self.msg)) == 2
+
+    def test_events_of_type(self):
+        sends = list(self.h.events_of_type(SendEvent))
+        assert len(sends) == 1
+        assert sends[0].receiver == "p2"
+
+    def test_find(self):
+        found = self.h.find(lambda e: isinstance(e, DoEvent))
+        assert found == DoEvent("p1", "x")
+        assert self.h.find(lambda e: isinstance(e, CrashEvent)) is None
+
+    def test_index_of(self):
+        assert self.h.index_of(InitEvent("p1", "x")) == 0
+        assert self.h.index_of(CrashEvent("p1")) is None
+
+
+class TestLatestSuspicion:
+    def test_none_when_no_reports(self):
+        assert History().latest_suspicion() is None
+
+    def test_most_recent_report_wins(self):
+        h = History(
+            [
+                SuspectEvent("p1", StandardSuspicion(frozenset({"p2"}))),
+                SuspectEvent("p1", StandardSuspicion(frozenset({"p3"}))),
+            ]
+        )
+        latest = h.latest_suspicion()
+        assert latest.report.suspects == frozenset({"p3"})
+
+    def test_derived_and_original_tracked_separately(self):
+        h = History(
+            [
+                SuspectEvent("p1", StandardSuspicion(frozenset({"p2"}))),
+                SuspectEvent(
+                    "p1", StandardSuspicion(frozenset({"p3"})), derived=True
+                ),
+            ]
+        )
+        assert h.latest_suspicion(derived=False).report.suspects == frozenset({"p2"})
+        assert h.latest_suspicion(derived=True).report.suspects == frozenset({"p3"})
+
+
+class TestHistoryProperties:
+    @given(st.lists(simple_events(), max_size=20))
+    def test_append_fold_equals_constructor(self, events):
+        folded = History()
+        for e in events:
+            folded = folded.append(e)
+        assert folded == History(events)
+        assert hash(folded) == hash(History(events))
+
+    @given(st.lists(simple_events(), max_size=15), st.lists(simple_events(), max_size=5))
+    def test_prefix_relation(self, prefix, suffix):
+        a = History(prefix)
+        b = History(prefix + suffix)
+        assert a.is_prefix_of(b)
+        if suffix:
+            assert not b.is_prefix_of(a)
+
+    @given(st.lists(simple_events(), max_size=15))
+    def test_prefix_of_self(self, events):
+        h = History(events)
+        assert h.is_prefix_of(h)
+
+
+class TestCut:
+    def test_initial_cut_is_empty(self):
+        c = Cut.initial(("p1", "p2"))
+        assert len(c["p1"]) == 0
+        assert len(c["p2"]) == 0
+
+    def test_missing_history_raises(self):
+        with pytest.raises(ValueError):
+            Cut(("p1", "p2"), {"p1": History()})
+
+    def test_unknown_process_lookup_raises(self):
+        c = Cut.initial(("p1",))
+        with pytest.raises(KeyError):
+            c.history("p9")
+
+    def test_with_history(self):
+        c = Cut.initial(("p1", "p2"))
+        h = History([DoEvent("p1", "a")])
+        c2 = c.with_history("p1", h)
+        assert c2["p1"] == h
+        assert c["p1"] == History()  # original untouched
+
+    def test_equality_and_hash(self):
+        c1 = Cut.initial(("p1", "p2"))
+        c2 = Cut.initial(("p1", "p2"))
+        assert c1 == c2
+        assert hash(c1) == hash(c2)
+
+    def test_inequality_on_content(self):
+        c1 = Cut.initial(("p1",))
+        c2 = c1.with_history("p1", History([DoEvent("p1", "a")]))
+        assert c1 != c2

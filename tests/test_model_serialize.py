@@ -1,0 +1,154 @@
+"""Round-trip tests for run/system serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols import GeneralizedFDUDCProcess, StrongFDUDCProcess
+from repro.detectors.conversions import with_gossip
+from repro.detectors.generalized import GeneralizedOracle
+from repro.detectors.standard import PerfectOracle, WeakOracle
+from repro.model.context import make_process_ids
+from repro.model.serialize import (
+    decode_event,
+    decode_value,
+    encode_event,
+    encode_value,
+    load_run,
+    load_system,
+    run_from_dict,
+    run_to_dict,
+    save_run,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.model.system import System
+from repro.sim.executor import Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(4)
+
+
+def protocol_run(seed=0, generalized=False, gossip=False):
+    if generalized:
+        factory = uniform_protocol(GeneralizedFDUDCProcess, t=2)
+        detector = GeneralizedOracle(2)
+    else:
+        factory = uniform_protocol(StrongFDUDCProcess)
+        detector = PerfectOracle()
+    if gossip:
+        factory = with_gossip(factory)
+        detector = WeakOracle()
+    return Executor(
+        PROCS,
+        factory,
+        crash_plan=CrashPlan.of({"p3": 7}),
+        workload=single_action("p1", tick=1),
+        detector=detector,
+        seed=seed,
+    ).run()
+
+
+class TestValueCodec:
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(max_size=8),
+            lambda children: st.tuples(children, children)
+            | st.frozensets(st.text(max_size=4), max_size=3),
+            max_leaves=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_json_safe(self):
+        encoded = encode_value((("a", 1), frozenset({"x", "y"})))
+        json.dumps(encoded)  # must not raise
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_value({"__t": "mystery", "v": []})
+
+
+class TestEventCodec:
+    def test_every_kind_round_trips(self):
+        run = protocol_run()
+        for p in PROCS:
+            for e in run.events(p):
+                assert decode_event(encode_event(e)) == e
+
+    def test_generalized_reports_round_trip(self):
+        run = protocol_run(generalized=True)
+        for p in PROCS:
+            for e in run.events(p):
+                assert decode_event(encode_event(e)) == e
+
+    def test_gossip_payloads_round_trip(self):
+        # Gossip payloads are frozensets of process ids.
+        run = protocol_run(gossip=True)
+        for p in PROCS:
+            for e in run.events(p):
+                assert decode_event(encode_event(e)) == e
+
+
+class TestRunRoundTrip:
+    def test_equality_preserved(self):
+        run = protocol_run()
+        clone = run_from_dict(run_to_dict(run))
+        assert clone == run
+        assert hash(clone) == hash(run)
+
+    def test_dict_is_json_serializable(self):
+        json.dumps(run_to_dict(protocol_run()))
+
+    def test_meta_scalars_survive(self):
+        run = protocol_run(seed=9)
+        clone = run_from_dict(run_to_dict(run))
+        assert clone.meta["seed"] == 9
+        assert clone.meta["detector"] == "perfect"
+
+    def test_file_round_trip(self, tmp_path):
+        run = protocol_run()
+        path = tmp_path / "run.json"
+        save_run(run, path)
+        assert load_run(path) == run
+
+    def test_version_check(self):
+        data = run_to_dict(protocol_run())
+        data["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            run_from_dict(data)
+
+
+class TestSystemRoundTrip:
+    def test_system_file_round_trip(self, tmp_path):
+        system = System([protocol_run(s) for s in range(3)])
+        path = tmp_path / "system.json"
+        save_system(system, path)
+        loaded = load_system(path)
+        assert loaded.runs == system.runs
+
+    def test_knowledge_agrees_after_round_trip(self):
+        """The part that would break if frozensets/tuples flattened:
+        histories must hash identically, so the ~_p index -- and hence
+        knowledge -- must agree between original and clone."""
+        from repro.model.run import Point
+
+        system = System([protocol_run(s) for s in range(2)])
+        clone = system_from_dict(system_to_dict(system))
+        for run, crun in zip(system.runs, clone.runs):
+            for m in range(0, run.duration, 9):
+                for p in PROCS:
+                    assert system.known_crashed_set(
+                        p, Point(run, m)
+                    ) == clone.known_crashed_set(p, Point(crun, m))

@@ -1,0 +1,169 @@
+"""Unit tests for systems and the indistinguishability / knowledge primitives."""
+
+import pytest
+
+from repro.model.context import ChannelSemantics, Context, make_process_ids
+from repro.model.events import CrashEvent, DoEvent, Message, ReceiveEvent, SendEvent
+from repro.model.run import Point, Run
+from repro.model.system import System
+
+PROCS = ("p1", "p2", "p3")
+
+
+def run_with(timelines, duration=6):
+    return Run(PROCS, timelines, duration)
+
+
+def crash_run():
+    """p3 crashes at time 2; p1 hears about it via a message at time 4."""
+    msg = Message("p3-down")
+    return run_with(
+        {
+            "p1": [(4, ReceiveEvent("p1", "p2", msg))],
+            "p2": [(3, SendEvent("p2", "p1", msg))],
+            "p3": [(2, CrashEvent("p3"))],
+        }
+    )
+
+
+def no_crash_run():
+    """Same observable history for p1 up to time 3, but p3 never crashes."""
+    msg = Message("p3-down")
+    return run_with(
+        {
+            "p1": [],
+            "p2": [(3, SendEvent("p2", "p1", msg))],
+            "p3": [],
+        }
+    )
+
+
+class TestSystemBasics:
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            System([])
+
+    def test_mismatched_process_sets_rejected(self):
+        r1 = Run(("p1",), {"p1": []}, 1)
+        r2 = Run(("p1", "p2"), {"p1": [], "p2": []}, 1)
+        with pytest.raises(ValueError):
+            System([r1, r2])
+
+    def test_len_iter_contains(self):
+        r = crash_run()
+        s = System([r])
+        assert len(s) == 1
+        assert r in s
+        assert list(s) == [r]
+
+    def test_restrict(self):
+        s = System([crash_run(), no_crash_run()])
+        sub = s.restrict(lambda r: not r.faulty())
+        assert len(sub) == 1
+
+    def test_union_dedupes(self):
+        a = System([crash_run()])
+        b = System([crash_run(), no_crash_run()])
+        assert len(a.union(b)) == 2
+
+
+class TestIndistinguishability:
+    def test_same_history_points_grouped(self):
+        r1, r2 = crash_run(), no_crash_run()
+        s = System([r1, r2])
+        # Before time 4, p1 has the empty history in both runs.
+        pts = s.indistinguishable_points("p1", Point(r1, 0))
+        runs_seen = {pt.run for pt in pts}
+        assert runs_seen == {r1, r2}
+
+    def test_distinguishing_event_splits_points(self):
+        r1, r2 = crash_run(), no_crash_run()
+        s = System([r1, r2])
+        # At time 4 p1 has received the message only in r1.
+        pts = s.indistinguishable_points("p1", Point(r1, 4))
+        assert {pt.run for pt in pts} == {r1}
+
+
+class TestKnowledgePrimitives:
+    def test_no_knowledge_of_crash_before_evidence(self):
+        r1, r2 = crash_run(), no_crash_run()
+        s = System([r1, r2])
+        # Before receiving the message, p1 considers the no-crash run
+        # possible, so it does not know p3 crashed.
+        assert not s.knows_crashed("p1", Point(r1, 3), "p3")
+
+    def test_knowledge_without_alternative(self):
+        # In a system where every p1-indistinguishable point has p3
+        # crashed, p1 knows it (here: the singleton system after the
+        # distinguishing receive).
+        r1, r2 = crash_run(), no_crash_run()
+        s = System([r1, r2])
+        assert s.knows_crashed("p1", Point(r1, 4), "p3")
+
+    def test_knowledge_is_veridical(self):
+        # K_p(crash(q)) at (r, m) implies crash(q) at (r, m), because
+        # (r, m) is itself p-indistinguishable from itself.
+        r1, r2 = crash_run(), no_crash_run()
+        s = System([r1, r2])
+        for r in (r1, r2):
+            for m in range(r.duration + 1):
+                for q in PROCS:
+                    if s.knows_crashed("p1", Point(r, m), q):
+                        assert r.crashed_by(q, m)
+
+    def test_known_crashed_set(self):
+        r1, r2 = crash_run(), no_crash_run()
+        s = System([r1, r2])
+        assert s.known_crashed_set("p1", Point(r1, 3)) == frozenset()
+        assert s.known_crashed_set("p1", Point(r1, 4)) == frozenset({"p3"})
+
+    def test_known_crash_count_lower_bound(self):
+        r1, r2 = crash_run(), no_crash_run()
+        s = System([r1, r2])
+        subset = frozenset({"p2", "p3"})
+        # Before evidence, the minimum over indistinguishable points is 0.
+        assert s.known_crash_count("p1", Point(r1, 3), subset) == 0
+        # After the message, every indistinguishable point has p3 down.
+        assert s.known_crash_count("p1", Point(r1, 4), subset) == 1
+
+    def test_generic_knows(self):
+        r1 = crash_run()
+        s = System([r1])
+        assert s.knows("p2", Point(r1, 5), lambda pt: True)
+        assert not s.knows("p2", Point(r1, 5), lambda pt: False)
+
+
+class TestContext:
+    def test_make_process_ids(self):
+        assert make_process_ids(3) == ("p1", "p2", "p3")
+
+    def test_make_process_ids_requires_positive(self):
+        with pytest.raises(ValueError):
+            make_process_ids(0)
+
+    def test_of_constructor(self):
+        ctx = Context.of(5, failure_bound=2)
+        assert ctx.n == 5
+        assert ctx.t == 2
+        assert not ctx.unbounded_failures
+
+    def test_unbounded_context(self):
+        ctx = Context.of(4)
+        assert ctx.t == 4
+        assert ctx.unbounded_failures
+
+    def test_majority_correct(self):
+        assert Context.of(5, failure_bound=2).majority_correct()
+        assert not Context.of(4, failure_bound=2).majority_correct()
+
+    def test_bad_failure_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Context.of(3, failure_bound=7)
+
+    def test_duplicate_processes_rejected(self):
+        with pytest.raises(ValueError):
+            Context(processes=("p1", "p1"))
+
+    def test_channel_semantics_values(self):
+        assert ChannelSemantics.RELIABLE.value == "reliable"
+        assert ChannelSemantics.FAIR_LOSSY.value == "fair_lossy"

@@ -1,0 +1,213 @@
+"""Tests for the extended adversary: transient partitions and the
+activation (process-speed) adversary."""
+
+import pytest
+
+from repro.core.properties import nudc_holds, udc_holds
+from repro.core.protocols import NUDCProcess, StrongFDUDCProcess
+from repro.detectors.standard import PerfectOracle
+from repro.harness.stats import completion_latency
+from repro.model.context import make_process_ids
+from repro.model.events import Message, ReceiveEvent
+from repro.sim.executor import ExecutionConfig, Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.network import ChannelConfig, FairLossyChannel, Partition
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+import random
+
+PROCS = make_process_ids(4)
+ACTION = ("p1", "a0")
+
+
+class TestPartitionUnit:
+    def test_severs_only_cross_boundary_during_window(self):
+        part = Partition(5, 15, frozenset({"p1", "p2"}))
+        assert part.severs("p1", "p3", 5)
+        assert part.severs("p3", "p1", 14)
+        assert not part.severs("p1", "p2", 10)  # same side
+        assert not part.severs("p3", "p4", 10)  # same side
+        assert not part.severs("p1", "p3", 4)  # before
+        assert not part.severs("p1", "p3", 15)  # after (half-open)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(5, 5, frozenset({"p1"}))
+
+    def test_channel_drops_cross_messages(self):
+        rng = random.Random(0)
+        ch = FairLossyChannel(
+            rng,
+            drop_prob=0.0,
+            partitions=(Partition(0, 100, frozenset({"p1"})),),
+        )
+        ch.submit("p1", "p2", Message("m"), tick=10)
+        ch.submit("p2", "p1", Message("m"), tick=10)
+        assert ch.in_flight_to(PROCS) == 0
+        assert ch.dropped_count == 2
+
+    def test_channel_heals(self):
+        rng = random.Random(0)
+        ch = FairLossyChannel(
+            rng,
+            drop_prob=0.0,
+            partitions=(Partition(0, 10, frozenset({"p1"})),),
+        )
+        ch.submit("p1", "p2", Message("m"), tick=12)
+        assert ch.in_flight_to(["p2"]) == 1
+
+    def test_partition_drops_exempt_from_budget(self):
+        rng = random.Random(0)
+        ch = FairLossyChannel(
+            rng,
+            drop_prob=0.999999,
+            max_consecutive_drops=2,
+            partitions=(Partition(0, 100, frozenset({"p1"})),),
+        )
+        for i in range(10):
+            ch.submit("p1", "p2", Message("m"), tick=i)
+        assert ch.in_flight_to(["p2"]) == 0  # never forced through
+
+
+class TestProtocolsUnderPartition:
+    def partition_config(self, start=4, end=30):
+        return ExecutionConfig(
+            channel=ChannelConfig(
+                drop_prob=0.2,
+                partitions=(Partition(start, end, frozenset({"p1", "p2"})),),
+            ),
+            # The finite-R5 heuristic flags sends swallowed by an active
+            # partition; on the infinite extension retransmission
+            # continues past healing, so we keep generous budgets and
+            # check liveness directly instead.
+            validate=False,
+        )
+
+    def test_nudc_survives_partition(self):
+        for seed in range(4):
+            run = Executor(
+                PROCS,
+                uniform_protocol(NUDCProcess, resend_rounds=60),
+                workload=single_action("p1", tick=1),
+                config=self.partition_config(),
+                seed=seed,
+            ).run()
+            assert nudc_holds(run), nudc_holds(run).witness
+
+    def test_udc_survives_partition(self):
+        for seed in range(4):
+            run = Executor(
+                PROCS,
+                uniform_protocol(StrongFDUDCProcess, resend_rounds=60),
+                crash_plan=CrashPlan.of({"p4": 10}),
+                workload=single_action("p1", tick=1),
+                detector=PerfectOracle(),
+                config=self.partition_config(),
+                seed=seed,
+            ).run()
+            assert udc_holds(run), udc_holds(run).witness
+
+    def test_partition_delays_completion(self):
+        def latency(config):
+            run = Executor(
+                PROCS,
+                uniform_protocol(StrongFDUDCProcess, resend_rounds=60),
+                workload=single_action("p1", tick=1),
+                detector=PerfectOracle(),
+                config=config,
+                seed=2,
+            ).run()
+            return completion_latency(run, ACTION)
+
+        smooth = ExecutionConfig(
+            channel=ChannelConfig(drop_prob=0.2), validate=False
+        )
+        partitioned = self.partition_config(start=2, end=40)
+        assert latency(partitioned) > latency(smooth)
+
+    def test_no_cross_deliveries_during_partition(self):
+        run = Executor(
+            PROCS,
+            uniform_protocol(NUDCProcess, resend_rounds=60),
+            workload=single_action("p1", tick=1),
+            config=self.partition_config(start=1, end=25),
+            seed=0,
+        ).run()
+        group = {"p1", "p2"}
+        for p in PROCS:
+            for t, e in run.timeline(p):
+                if isinstance(e, ReceiveEvent) and t < 25:
+                    # Delivered before healing => must have been sent
+                    # before the partition started or within a side.
+                    crossed = (e.sender in group) != (e.receiver in group)
+                    if crossed:
+                        sent_before = any(
+                            ts < 1
+                            for ts, se in run.timeline(e.sender)
+                            if getattr(se, "receiver", None) == e.receiver
+                            and getattr(se, "message", None) == e.message
+                        )
+                        assert sent_before
+
+
+class TestActivationAdversary:
+    def slow_config(self):
+        return ExecutionConfig(activation_prob=0.5, max_consecutive_skips=5)
+
+    def test_protocols_correct_under_slow_scheduling(self):
+        for seed in range(4):
+            run = Executor(
+                PROCS,
+                uniform_protocol(StrongFDUDCProcess),
+                crash_plan=CrashPlan.of({"p3": 8}),
+                workload=single_action("p1", tick=1),
+                detector=PerfectOracle(),
+                config=self.slow_config(),
+                seed=seed,
+            ).run()
+            assert udc_holds(run), udc_holds(run).witness
+
+    def test_slow_scheduling_costs_time(self):
+        def latency(config):
+            run = Executor(
+                PROCS,
+                uniform_protocol(StrongFDUDCProcess),
+                workload=single_action("p1", tick=1),
+                detector=PerfectOracle(),
+                config=config,
+                seed=5,
+            ).run()
+            return completion_latency(run, ACTION)
+
+        assert latency(self.slow_config()) > latency(ExecutionConfig())
+
+    def test_deterministic_under_skips(self):
+        def once():
+            return Executor(
+                PROCS,
+                uniform_protocol(NUDCProcess),
+                workload=single_action("p1", tick=1),
+                config=self.slow_config(),
+                seed=11,
+            ).run()
+
+        assert once() == once()
+
+    def test_full_activation_matches_default(self):
+        # activation_prob=1.0 must not consume extra randomness.
+        explicit = ExecutionConfig(activation_prob=1.0)
+        a = Executor(
+            PROCS,
+            uniform_protocol(NUDCProcess),
+            workload=single_action("p1", tick=1),
+            config=explicit,
+            seed=3,
+        ).run()
+        b = Executor(
+            PROCS,
+            uniform_protocol(NUDCProcess),
+            workload=single_action("p1", tick=1),
+            seed=3,
+        ).run()
+        assert a == b

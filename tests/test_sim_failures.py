@@ -1,0 +1,104 @@
+"""Unit tests for crash plans and samplers (A1 / A5_t machinery)."""
+
+import random
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.context import make_process_ids
+from repro.sim.failures import (
+    CrashPlan,
+    all_crash_plans,
+    sample_crash_plan,
+    staggered_plan,
+)
+
+PROCS = make_process_ids(4)
+
+
+class TestCrashPlan:
+    def test_empty_plan(self):
+        plan = CrashPlan.none()
+        assert len(plan) == 0
+        assert plan.faulty == frozenset()
+        assert plan.crash_tick("p1") is None
+
+    def test_of_and_queries(self):
+        plan = CrashPlan.of({"p2": 5, "p1": 3})
+        assert plan.faulty == frozenset({"p1", "p2"})
+        assert plan.crash_tick("p1") == 3
+        assert plan.as_dict() == {"p1": 3, "p2": 5}
+
+    def test_duplicate_process_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPlan((("p1", 3), ("p1", 5)))
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPlan.of({"p1": -1})
+
+    def test_plans_are_hashable_and_comparable(self):
+        assert CrashPlan.of({"p1": 3}) == CrashPlan.of({"p1": 3})
+        assert len({CrashPlan.of({"p1": 3}), CrashPlan.of({"p1": 3})}) == 1
+
+
+class TestSampler:
+    def test_respects_bound(self):
+        for seed in range(20):
+            plan = sample_crash_plan(
+                random.Random(seed), PROCS, max_failures=2, crash_prob=0.9
+            )
+            assert len(plan) <= 2
+
+    def test_horizon_respected(self):
+        plan = sample_crash_plan(
+            random.Random(1), PROCS, crash_prob=1.0, horizon=7
+        )
+        assert all(tick <= 7 for _, tick in plan.crashes)
+
+    def test_unbounded_allows_all(self):
+        plan = sample_crash_plan(random.Random(3), PROCS, crash_prob=1.0)
+        assert plan.faulty == frozenset(PROCS)
+
+    @given(st.integers(0, 1000))
+    def test_deterministic_given_seed(self, seed):
+        a = sample_crash_plan(random.Random(seed), PROCS, crash_prob=0.5)
+        b = sample_crash_plan(random.Random(seed), PROCS, crash_prob=0.5)
+        assert a == b
+
+
+class TestAllCrashPlans:
+    def test_a5t_coverage(self):
+        # A5_t: every subset of size <= t appears exactly once.
+        plans = list(all_crash_plans(PROCS, max_failures=2))
+        faulty_sets = [plan.faulty for plan in plans]
+        expected = [
+            frozenset(c)
+            for size in range(3)
+            for c in combinations(PROCS, size)
+        ]
+        assert sorted(faulty_sets, key=sorted) == sorted(expected, key=sorted)
+
+    def test_t_zero_only_empty(self):
+        plans = list(all_crash_plans(PROCS, max_failures=0))
+        assert plans == [CrashPlan.none()]
+
+    def test_common_crash_tick(self):
+        for plan in all_crash_plans(PROCS, max_failures=3, crash_tick=9):
+            assert all(tick == 9 for _, tick in plan.crashes)
+
+
+class TestStaggeredPlan:
+    def test_spacing(self):
+        plan = staggered_plan(PROCS, ["p1", "p3"], first_tick=4, spacing=6)
+        assert plan.crash_tick("p1") == 4
+        assert plan.crash_tick("p3") == 10
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError):
+            staggered_plan(PROCS, ["p9"])
+
+    def test_empty_faulty_list(self):
+        assert staggered_plan(PROCS, []) == CrashPlan.none()

@@ -1,0 +1,149 @@
+"""Unit tests for channels: loss, delay, and the R5 fairness budget."""
+
+import random
+
+import pytest
+
+from repro.model.context import ChannelSemantics
+from repro.model.events import Message
+from repro.sim.network import (
+    ChannelConfig,
+    FairLossyChannel,
+    ReliableChannel,
+    UnfairChannel,
+    make_channel,
+)
+
+
+def rng():
+    return random.Random(0)
+
+
+class TestReliableChannel:
+    def test_never_drops(self):
+        ch = ReliableChannel(rng())
+        for i in range(50):
+            ch.submit("p1", "p2", Message("m", i), tick=0)
+        assert ch.dropped_count == 0
+        assert ch.in_flight_to(["p2"]) == 50
+
+    def test_delay_bounds(self):
+        ch = ReliableChannel(rng(), min_delay=2, max_delay=5)
+        ch.submit("p1", "p2", Message("m"), tick=10)
+        env = ch.deliverable("p2", 100)[0]
+        assert 12 <= env.deliver_at <= 15
+
+    def test_not_deliverable_before_delay(self):
+        ch = ReliableChannel(rng(), min_delay=3, max_delay=3)
+        ch.submit("p1", "p2", Message("m"), tick=0)
+        assert ch.deliverable("p2", 2) == []
+        assert len(ch.deliverable("p2", 3)) == 1
+
+    def test_consume_removes(self):
+        ch = ReliableChannel(rng(), min_delay=1, max_delay=1)
+        ch.submit("p1", "p2", Message("m"), tick=0)
+        env = ch.deliverable("p2", 5)[0]
+        ch.consume(env)
+        assert ch.deliverable("p2", 5) == []
+        assert ch.delivered_count == 1
+
+    def test_discard_for_crashed(self):
+        ch = ReliableChannel(rng())
+        ch.submit("p1", "p2", Message("m"), tick=0)
+        ch.discard_for("p2")
+        assert ch.in_flight_to(["p2"]) == 0
+
+    def test_bad_delays_rejected(self):
+        with pytest.raises(ValueError):
+            ReliableChannel(rng(), min_delay=0, max_delay=3)
+        with pytest.raises(ValueError):
+            ReliableChannel(rng(), min_delay=5, max_delay=3)
+
+
+class TestFairLossyChannel:
+    def test_fairness_budget_forces_acceptance(self):
+        # With drop probability 1 the budget is the only reason anything
+        # gets through: exactly every (budget+1)-th copy is accepted.
+        ch = FairLossyChannel(rng(), drop_prob=0.999999, max_consecutive_drops=3)
+        msg = Message("m")
+        for i in range(12):
+            ch.submit("p1", "p2", msg, tick=i)
+        assert ch.in_flight_to(["p2"]) == 3  # copies 4, 8, 12
+        assert ch.dropped_count == 9
+
+    def test_budget_per_message_key(self):
+        ch = FairLossyChannel(rng(), drop_prob=0.999999, max_consecutive_drops=2)
+        for i in range(3):
+            ch.submit("p1", "p2", Message("a"), tick=i)
+            ch.submit("p1", "p2", Message("b"), tick=i)
+        # Each key independently forced on its 3rd copy.
+        assert ch.in_flight_to(["p2"]) == 2
+
+    def test_acceptance_resets_streak(self):
+        ch = FairLossyChannel(rng(), drop_prob=0.0, max_consecutive_drops=1)
+        for i in range(5):
+            ch.submit("p1", "p2", Message("m"), tick=i)
+        assert ch.in_flight_to(["p2"]) == 5
+
+    def test_zero_budget_accepts_everything(self):
+        ch = FairLossyChannel(rng(), drop_prob=0.9, max_consecutive_drops=0)
+        for i in range(20):
+            ch.submit("p1", "p2", Message("m"), tick=i)
+        assert ch.in_flight_to(["p2"]) == 20
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FairLossyChannel(rng(), drop_prob=1.0)
+        with pytest.raises(ValueError):
+            FairLossyChannel(rng(), drop_prob=-0.1)
+        with pytest.raises(ValueError):
+            FairLossyChannel(rng(), max_consecutive_drops=-1)
+
+    def test_deliverable_sorted_oldest_first(self):
+        ch = FairLossyChannel(rng(), drop_prob=0.0, min_delay=1, max_delay=1)
+        for i in range(5):
+            ch.submit("p1", "p2", Message("m", i), tick=i)
+        ready = ch.deliverable("p2", 100)
+        assert [e.message.payload for e in ready] == [0, 1, 2, 3, 4]
+
+
+class TestUnfairChannel:
+    def test_blackhole_swallows_matching(self):
+        ch = UnfairChannel(rng(), blackhole=lambda s, r, m: r == "p2")
+        ch.submit("p1", "p2", Message("m"), tick=0)
+        ch.submit("p1", "p3", Message("m"), tick=0)
+        assert ch.in_flight_to(["p2"]) == 0
+        assert ch.in_flight_to(["p3"]) == 1
+        assert ch.dropped_count == 1
+
+    def test_blackhole_never_relents(self):
+        ch = UnfairChannel(rng(), blackhole=lambda s, r, m: True)
+        for i in range(100):
+            ch.submit("p1", "p2", Message("m"), tick=i)
+        assert ch.in_flight_to(["p2"]) == 0
+
+
+class TestMakeChannel:
+    def test_dispatch(self):
+        assert isinstance(
+            make_channel(ChannelConfig(semantics=ChannelSemantics.RELIABLE), rng()),
+            ReliableChannel,
+        )
+        assert isinstance(
+            make_channel(ChannelConfig(semantics=ChannelSemantics.FAIR_LOSSY), rng()),
+            FairLossyChannel,
+        )
+        assert isinstance(
+            make_channel(ChannelConfig(semantics=ChannelSemantics.UNFAIR), rng()),
+            UnfairChannel,
+        )
+
+    def test_unfair_default_blackhole_drops_all(self):
+        ch = make_channel(ChannelConfig(semantics=ChannelSemantics.UNFAIR), rng())
+        ch.submit("p1", "p2", Message("m"), tick=0)
+        assert ch.in_flight_to(["p2"]) == 0
+
+    def test_config_parameters_forwarded(self):
+        cfg = ChannelConfig(drop_prob=0.999999, max_consecutive_drops=7)
+        ch = make_channel(cfg, rng())
+        assert ch.max_consecutive_drops == 7

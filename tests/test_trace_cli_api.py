@@ -1,0 +1,150 @@
+"""Tests for the trace renderer, the CLI entry points, and the public API."""
+
+import subprocess
+import sys
+
+from repro.core.protocols import StrongFDUDCProcess
+from repro.detectors.standard import PerfectOracle
+from repro.harness.trace import describe_event, render_run, summarize_run
+from repro.model.context import make_process_ids
+from repro.model.events import (
+    CrashEvent,
+    DoEvent,
+    GeneralizedSuspicion,
+    InitEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+    StandardSuspicion,
+    SuspectEvent,
+)
+from repro.sim.executor import Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(3)
+
+
+def sample_run():
+    return Executor(
+        PROCS,
+        uniform_protocol(StrongFDUDCProcess),
+        crash_plan=CrashPlan.of({"p3": 6}),
+        workload=single_action("p1", tick=1),
+        detector=PerfectOracle(),
+        seed=0,
+    ).run()
+
+
+class TestDescribeEvent:
+    def test_each_event_kind(self):
+        assert describe_event(SendEvent("p1", "p2", Message("alpha"))) == "send(p2, alpha)"
+        assert describe_event(ReceiveEvent("p2", "p1", Message("ack"))) == "recv(p1, ack)"
+        assert describe_event(InitEvent("p1", "a")) == "init('a')"
+        assert describe_event(DoEvent("p1", "a")) == "do('a')"
+        assert describe_event(CrashEvent("p1")) == "CRASH"
+
+    def test_suspicions(self):
+        std = SuspectEvent("p1", StandardSuspicion(frozenset({"p2", "p3"})))
+        assert describe_event(std) == "suspect{p2,p3}"
+        derived = SuspectEvent(
+            "p1", StandardSuspicion(frozenset({"p2"})), derived=True
+        )
+        assert describe_event(derived) == "suspect'{p2}"
+        gen = SuspectEvent("p1", GeneralizedSuspicion(frozenset({"p2"}), 1))
+        assert describe_event(gen) == "suspect({p2}, 1)"
+
+
+class TestRenderRun:
+    def test_contains_all_processes(self):
+        text = render_run(sample_run())
+        for p in PROCS:
+            assert p in text
+
+    def test_limit_truncates(self):
+        text = render_run(sample_run(), limit=3)
+        assert "more ticks" in text
+
+    def test_exclude_sends(self):
+        text = render_run(sample_run(), include_sends=False)
+        assert "send(" not in text
+        assert "recv(" in text
+
+    def test_crash_rendered(self):
+        assert "CRASH" in render_run(sample_run())
+
+
+class TestSummarize:
+    def test_mentions_counts_and_faulty(self):
+        text = summarize_run(sample_run())
+        assert "3 processes" in text
+        assert "faulty: p3" in text
+        assert "crash=1" in text
+
+
+class TestCli:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_demo(self):
+        proc = self.run_cli("demo")
+        assert proc.returncode == 0
+        assert "UDC: holds" in proc.stdout
+
+    def test_single_experiment(self):
+        proc = self.run_cli("experiments", "A14")
+        assert proc.returncode == 0
+        assert "[A14]" in proc.stdout and "PASS" in proc.stdout
+
+    def test_table1(self):
+        proc = self.run_cli("table1")
+        assert proc.returncode == 0
+        assert "shape matches paper: YES" in proc.stdout
+
+    def test_unknown_command_shows_help(self):
+        proc = self.run_cli("bogus")
+        assert proc.returncode == 2
+        assert "Commands" in proc.stdout
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_quickstart_docstring_flow(self):
+        # The flow advertised in repro.__doc__ must actually work.
+        from repro import (
+            CrashPlan,
+            Executor,
+            StrongFDUDCProcess,
+            StrongOracle,
+            make_process_ids,
+            single_action,
+            udc_holds,
+            uniform_protocol,
+        )
+
+        processes = make_process_ids(5)
+        run = Executor(
+            processes,
+            uniform_protocol(StrongFDUDCProcess),
+            crash_plan=CrashPlan.of({"p3": 8}),
+            workload=single_action("p1", tick=1),
+            detector=StrongOracle(),
+            seed=42,
+        ).run()
+        assert udc_holds(run)

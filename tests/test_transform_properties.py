@@ -1,0 +1,128 @@
+"""Property-based invariants of the run transformations and conversions:
+for arbitrary adversaries, every transformation is a Section 2.2
+conversion -- non-detector events preserved in order, derived reports
+well-placed, R4 respected."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols import StrongFDUDCProcess
+from repro.core.simulation_theorem import (
+    subset_order,
+    transform_run_f,
+    transform_run_f_prime,
+)
+from repro.detectors.conversions import (
+    convert_impermanent_to_permanent,
+    convert_perfect_to_n_useful,
+)
+from repro.detectors.standard import ImpermanentStrongOracle, PerfectOracle
+from repro.model.context import make_process_ids
+from repro.model.events import SuspectEvent
+from repro.model.run import validate_run
+from repro.model.system import System
+from repro.sim.executor import Executor
+from repro.sim.failures import sample_crash_plan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(3)
+
+
+def fuzz_run(seed: int, oracle=None):
+    rng = random.Random(seed)
+    plan = sample_crash_plan(rng, PROCS, crash_prob=0.4, horizon=15)
+    return Executor(
+        PROCS,
+        uniform_protocol(StrongFDUDCProcess),
+        crash_plan=plan,
+        workload=single_action("p1", tick=1),
+        detector=oracle or PerfectOracle(),
+        seed=rng.randrange(1 << 16),
+    ).run()
+
+
+def non_fd_events(run, p):
+    return [e for e in run.events(p) if not isinstance(e, SuspectEvent)]
+
+
+TRANSFORMS = {
+    "f": lambda run: transform_run_f(run, System([run])),
+    "f_prime": lambda run: transform_run_f_prime(run, System([run])),
+    "imp_to_perm": convert_impermanent_to_permanent,
+    "perfect_to_n_useful": convert_perfect_to_n_useful,
+}
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10**5), st.sampled_from(sorted(TRANSFORMS)))
+def test_non_detector_events_preserved_in_order(seed, name):
+    run = fuzz_run(seed)
+    out = TRANSFORMS[name](run)
+    for p in PROCS:
+        assert non_fd_events(out, p) == non_fd_events(run, p)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10**5), st.sampled_from(sorted(TRANSFORMS)))
+def test_transformed_runs_are_wellformed(seed, name):
+    run = fuzz_run(seed)
+    out = TRANSFORMS[name](run)
+    # R1-R4 + init uniqueness (R5's finite heuristic doesn't apply to
+    # the doubled timeline).
+    validate_run(out, check_r5=False)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10**5), st.sampled_from(sorted(TRANSFORMS)))
+def test_derived_reports_odd_originals_even(seed, name):
+    run = fuzz_run(seed, oracle=ImpermanentStrongOracle())
+    out = TRANSFORMS[name](run)
+    for p in PROCS:
+        for t, e in out.timeline(p):
+            if isinstance(e, SuspectEvent) and e.derived:
+                assert t % 2 == 1
+            elif not isinstance(e, SuspectEvent):
+                assert t % 2 == 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10**5), st.sampled_from(sorted(TRANSFORMS)))
+def test_failure_pattern_preserved(seed, name):
+    run = fuzz_run(seed)
+    out = TRANSFORMS[name](run)
+    assert out.faulty() == run.faulty()
+    for q in run.faulty():
+        assert out.crash_time(q) == 2 * run.crash_time(q)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10**5))
+def test_duration_doubles(seed):
+    run = fuzz_run(seed)
+    for name, fn in TRANSFORMS.items():
+        assert fn(run).duration == 2 * run.duration + 1, name
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 6))
+def test_subset_order_is_a_bijection(n):
+    procs = make_process_ids(n)
+    order = subset_order(procs)
+    assert len(order) == 2**n
+    assert len(set(order)) == 2**n
+    assert order[0] == frozenset()
+    assert order[-1] == frozenset(procs)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10**5))
+def test_transformations_deterministic(seed):
+    run = fuzz_run(seed)
+    system = System([run])
+    assert transform_run_f(run, system) == transform_run_f(run, system)
+    assert transform_run_f_prime(run, system) == transform_run_f_prime(
+        run, system
+    )

@@ -1,0 +1,82 @@
+"""Unit tests for workload generators."""
+
+import random
+
+from repro.model.context import make_process_ids
+from repro.sim.failures import CrashPlan
+from repro.workloads.generators import (
+    action_id,
+    burst_workload,
+    initiator_of,
+    post_crash_workload,
+    single_action,
+    stream_workload,
+)
+
+PROCS = make_process_ids(4)
+
+
+class TestActionIds:
+    def test_tagged_by_initiator(self):
+        a = action_id("p2", "x")
+        assert initiator_of(a) == "p2"
+
+    def test_disjointness_across_processes(self):
+        # A_p and A_q disjoint (Section 2.4): same name, different owner.
+        assert action_id("p1", "x") != action_id("p2", "x")
+
+
+class TestSingleAction:
+    def test_shape(self):
+        wl = single_action("p1", tick=3, name="z")
+        assert wl == [(3, "p1", ("p1", "z"))]
+
+
+class TestBurst:
+    def test_counts(self):
+        wl = burst_workload(PROCS, actions_per_process=2)
+        assert len(wl) == 8
+        assert len({a for _, _, a in wl}) == 8
+
+    def test_sorted(self):
+        wl = burst_workload(PROCS, tick=4)
+        assert wl == sorted(wl)
+
+
+class TestStream:
+    def test_spacing_and_count(self):
+        wl = stream_workload(PROCS, count=5, spacing=3, start_tick=2)
+        assert len(wl) == 5
+        ticks = [t for t, _, _ in wl]
+        assert ticks == [2, 5, 8, 11, 14]
+
+    def test_unique_actions(self):
+        wl = stream_workload(PROCS, count=10)
+        assert len({a for _, _, a in wl}) == 10
+
+    def test_deterministic_with_rng(self):
+        a = stream_workload(PROCS, count=6, rng=random.Random(1))
+        b = stream_workload(PROCS, count=6, rng=random.Random(1))
+        assert a == b
+
+
+class TestPostCrash:
+    def test_starts_after_last_crash(self):
+        plan = CrashPlan.of({"p2": 9, "p4": 17})
+        wl = post_crash_workload(PROCS, plan, lead=5)
+        assert min(t for t, _, _ in wl) == 22
+
+    def test_only_survivors_initiate(self):
+        plan = CrashPlan.of({"p2": 9})
+        wl = post_crash_workload(PROCS, plan)
+        initiators = {p for _, p, _ in wl}
+        assert initiators == {"p1", "p3", "p4"}
+
+    def test_failure_free_plan(self):
+        wl = post_crash_workload(PROCS, CrashPlan.none(), actions_per_survivor=1)
+        assert {p for _, p, _ in wl} == set(PROCS)
+
+    def test_rounds_counted(self):
+        plan = CrashPlan.of({"p2": 9})
+        wl = post_crash_workload(PROCS, plan, actions_per_survivor=3)
+        assert len(wl) == 9  # 3 survivors x 3 rounds
