@@ -1,0 +1,91 @@
+"""Benchmarks for the parallel ensemble runtime.
+
+The headline check: a ProcessPoolBackend with 4 workers beats the
+SerialBackend by >= 2x on a 32-run ensemble -- and produces
+field-for-field identical runs.  Equality is asserted unconditionally;
+the speedup floor only applies where the hardware can deliver it (>= 4
+CPUs), since a single-core box serializes the pool anyway.
+"""
+
+import os
+import time
+
+from repro.core.protocols import GeneralizedFDUDCProcess
+from repro.detectors.generalized import GeneralizedOracle
+from repro.model.context import make_process_ids
+from repro.runtime import (
+    EnsembleSpec,
+    ProcessPoolBackend,
+    RunCache,
+    SerialBackend,
+    run_ensemble,
+)
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(5)
+WORKERS = 4
+
+
+def sweep(seeds):
+    """An E07-style t-useful sweep: A5_2 crash plans x seeds."""
+    return EnsembleSpec.a5t(
+        PROCS,
+        uniform_protocol(GeneralizedFDUDCProcess, t=2),
+        t=2,
+        workload=single_action("p1", tick=1) + single_action("p3", tick=10, name="c0"),
+        detector=GeneralizedOracle(2, padding=1),
+        seeds=seeds,
+    )
+
+
+def test_bench_pool_vs_serial_speedup():
+    """32-run ensemble: pool(4) must match serial; >=2x faster on >=4 CPUs."""
+    spec = sweep(seeds=(0, 1))
+    assert len(spec) >= 32, len(spec)
+
+    t0 = time.perf_counter()
+    serial = run_ensemble(spec, backend=SerialBackend(), cache=None)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_ensemble(spec, backend=ProcessPoolBackend(max_workers=WORKERS), cache=None)
+    pooled_s = time.perf_counter() - t0
+
+    assert list(serial.runs) == list(pooled.runs)
+    assert [m.seed for m in serial.metrics] == [m.seed for m in pooled.metrics]
+
+    speedup = serial_s / pooled_s if pooled_s else float("inf")
+    print(
+        f"\n{len(spec)} runs: serial {serial_s:.2f}s, "
+        f"pool({WORKERS}) {pooled_s:.2f}s, speedup x{speedup:.2f} "
+        f"({os.cpu_count()} CPUs)"
+    )
+    if (os.cpu_count() or 1) >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup with {WORKERS} workers on "
+            f"{os.cpu_count()} CPUs, got x{speedup:.2f}"
+        )
+
+
+def test_bench_cache_hit_rate(benchmark):
+    """Warm-cache replay of a 32-run ensemble costs ~no execution time."""
+    spec = sweep(seeds=(0, 1))
+    cache = RunCache()
+    run_ensemble(spec, backend=SerialBackend(), cache=cache)  # prime
+
+    report = benchmark(lambda: run_ensemble(spec, backend=SerialBackend(), cache=cache))
+    assert report.cache_hits == len(spec)
+    assert report.executed == 0
+
+
+def test_bench_serial_ensemble(benchmark):
+    """Baseline: the serial backend on an 18-run ensemble."""
+    spec = sweep(seeds=(0,))
+    report = benchmark.pedantic(
+        lambda: run_ensemble(spec, backend=SerialBackend(), cache=None),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert len(report) == len(spec)

@@ -67,6 +67,16 @@ from repro.knowledge import Knows, ModelChecker
 from repro.model.context import ChannelSemantics, Context, make_process_ids
 from repro.model.run import Point, Run, validate_run
 from repro.model.system import System
+from repro.runtime import (
+    EnsembleReport,
+    EnsembleSpec,
+    ProcessPoolBackend,
+    RunCache,
+    RunSpec,
+    SerialBackend,
+    run_ensemble,
+    run_spec,
+)
 from repro.sim.ensembles import a5t_ensemble, build_ensemble
 from repro.sim.executor import ExecutionConfig, Executor, execute
 from repro.sim.failures import CrashPlan
@@ -80,6 +90,8 @@ __all__ = [
     "ChannelSemantics",
     "Context",
     "CrashPlan",
+    "EnsembleReport",
+    "EnsembleSpec",
     "EventuallyWeakOracle",
     "ExecutionConfig",
     "Executor",
@@ -90,9 +102,13 @@ __all__ = [
     "NUDCProcess",
     "PerfectOracle",
     "Point",
+    "ProcessPoolBackend",
     "ProtocolProcess",
     "ReliableUDCProcess",
     "Run",
+    "RunCache",
+    "RunSpec",
+    "SerialBackend",
     "StrongFDUDCProcess",
     "StrongOracle",
     "System",
@@ -102,6 +118,8 @@ __all__ = [
     "action_id",
     "build_ensemble",
     "execute",
+    "run_ensemble",
+    "run_spec",
     "make_process_ids",
     "nudc_holds",
     "simulate_generalized_detectors",

@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m repro [command]``.
 
 Commands:
-  experiments [IDs...]  run the reproduction experiments (default: all)
+  experiments [IDs...]  run the reproduction experiments (default: all);
+                        supports --list and --backend serial|process[:N]
+  list                  list registered experiment ids and summaries
   table1                regenerate Table 1 only
   demo                  execute one UDC run and print its trace
 """
@@ -12,10 +14,9 @@ import sys
 
 
 def demo() -> int:
-    """One UDC run, traced and checked."""
+    """One UDC run, traced and checked -- built from a declarative RunSpec."""
     from repro import (
         CrashPlan,
-        Executor,
         StrongFDUDCProcess,
         StrongOracle,
         make_process_ids,
@@ -24,16 +25,17 @@ def demo() -> int:
         uniform_protocol,
     )
     from repro.harness.trace import render_run, summarize_run
+    from repro.runtime import RunSpec, run_spec
 
-    processes = make_process_ids(4)
-    run = Executor(
-        processes,
-        uniform_protocol(StrongFDUDCProcess),
+    spec = RunSpec(
+        processes=make_process_ids(4),
+        protocol=uniform_protocol(StrongFDUDCProcess),
         crash_plan=CrashPlan.of({"p3": 8}),
         workload=single_action("p1", tick=1),
         detector=StrongOracle(),
         seed=42,
-    ).run()
+    )
+    run = run_spec(spec)
     print(summarize_run(run))
     print()
     print(render_run(run, limit=40))
@@ -49,6 +51,11 @@ def main(argv: list[str]) -> int:
         from repro.harness.__main__ import main as harness_main
 
         return harness_main(argv[1:] if argv else [])
+    if argv[0] == "list":
+        from repro.harness import registry
+
+        print(registry.describe())
+        return 0
     if argv[0] == "table1":
         from repro.harness.table1 import build_table1, render_table1
 

@@ -428,10 +428,23 @@ def check_consensus(
     return PropertyVerdict.ok()
 
 
+@dataclass(frozen=True)
+class ConsensusProtocol:
+    """Picklable factory form of :func:`consensus_factory` (see
+    :class:`repro.sim.process.UniformProtocol` for the rationale)."""
+
+    cls: type
+    values: tuple[tuple[ProcessId, object], ...]
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __call__(self, pid: ProcessId, env: ProcessEnv):
+        return self.cls(
+            pid, env, value=dict(self.values)[pid], **dict(self.kwargs)
+        )
+
+
 def consensus_factory(cls, values: dict[ProcessId, object], **kwargs):
     """A joint-protocol factory giving each process its proposal."""
-
-    def factory(pid: ProcessId, env: ProcessEnv):
-        return cls(pid, env, value=values[pid], **kwargs)
-
-    return factory
+    return ConsensusProtocol(
+        cls, tuple(sorted(values.items())), tuple(sorted(kwargs.items()))
+    )

@@ -29,6 +29,7 @@ originals and R2 is preserved.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.model.events import (
@@ -201,13 +202,24 @@ class SuspicionGossip(ProtocolProcess):
         return pending_gossip or self.inner.wants_to_act()
 
 
+@dataclass(frozen=True)
+class GossipProtocol:
+    """Picklable factory form of :func:`with_gossip` (see
+    :class:`repro.sim.process.UniformProtocol` for why factories are
+    dataclasses rather than closures)."""
+
+    inner_factory: object
+    gossip_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __call__(self, pid: ProcessId, env: ProcessEnv) -> SuspicionGossip:
+        return SuspicionGossip(
+            pid, env, self.inner_factory(pid, env), **dict(self.gossip_kwargs)
+        )
+
+
 def with_gossip(inner_factory, **gossip_kwargs):
     """Wrap a protocol factory so every process also gossips suspicions."""
-
-    def factory(pid: ProcessId, env: ProcessEnv) -> SuspicionGossip:
-        return SuspicionGossip(pid, env, inner_factory(pid, env), **gossip_kwargs)
-
-    return factory
+    return GossipProtocol(inner_factory, tuple(sorted(gossip_kwargs.items())))
 
 
 def convert_weak_to_strong(run: Run) -> Run:

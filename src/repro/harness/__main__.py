@@ -1,25 +1,58 @@
-"""Run every experiment and print the report: ``python -m repro.harness``."""
+"""Run experiments from the registry: ``python -m repro.harness``.
+
+Usage::
+
+    python -m repro.harness [--list] [--backend serial|process[:N]] [IDS...]
+
+With no ids, every registered experiment runs.  ``--backend process``
+executes the ensemble sweeps inside each experiment on a worker-process
+pool (results are identical to serial; see repro.runtime).
+"""
 
 from __future__ import annotations
 
 import sys
 import time
 
-from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness import registry
 from repro.harness.results import render_result
-from repro.harness.table1 import build_table1, render_table1, run_e09
+from repro.harness.table1 import build_table1, render_table1
 
 
 def main(argv: list[str]) -> int:
     """Run the requested experiments (all by default) and print results."""
-    wanted = [a.upper() for a in argv] or [*ALL_EXPERIMENTS, "E09"]
+    args = list(argv)
+    if "--list" in args:
+        print(registry.describe())
+        return 0
+    backend = None
+    if "--backend" in args:
+        at = args.index("--backend")
+        try:
+            backend = args[at + 1]
+        except IndexError:
+            print("--backend needs a value: serial | process | process:N")
+            return 2
+        del args[at : at + 2]
+    if backend is not None:
+        from repro.runtime import set_default_backend
+
+        try:
+            set_default_backend(backend)
+        except ValueError as exc:
+            print(exc)
+            return 2
+
+    wanted = [a.upper() for a in args] or registry.experiment_ids()
+    unknown = [e for e in wanted if e not in registry.experiment_ids()]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}")
+        print(registry.describe())
+        return 2
     failed = 0
     for exp_id in wanted:
         start = time.perf_counter()
-        if exp_id == "E09":
-            result = run_e09()
-        else:
-            result = ALL_EXPERIMENTS[exp_id]()
+        result = registry.run(exp_id)
         elapsed = time.perf_counter() - start
         print(render_result(result))
         print(f"    ({elapsed:.1f}s)\n")

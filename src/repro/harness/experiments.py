@@ -8,7 +8,6 @@ are deterministic given their seed lists.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Sequence
 
 from repro.core.consensus import (
@@ -76,13 +75,13 @@ from repro.model.context import ChannelSemantics, make_process_ids
 from repro.model.events import Message, StandardSuspicion
 from repro.model.run import r5_violations
 from repro.model.system import System
-from repro.sim.ensembles import a5t_ensemble, build_ensemble
+from repro.runtime import RunSpec, run_ensemble, run_spec
+from repro.sim.ensembles import a5t_ensemble
 from repro.sim.executor import ExecutionConfig, Executor
 from repro.sim.failures import CrashPlan, all_crash_plans, staggered_plan
 from repro.sim.network import ChannelConfig
 from repro.sim.process import uniform_protocol
 from repro.workloads.generators import (
-    burst_workload,
     post_crash_workload,
     single_action,
 )
@@ -129,16 +128,16 @@ def run_e01(n: int = 4, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentResult:
     # leaves the correct processes empty-handed.  Force it with a crash
     # right after the init and a very lossy channel.
     lossy = FAIR.with_channel(drop_prob=0.8, max_consecutive_drops=8)
+    probe = RunSpec(
+        processes=procs,
+        protocol=uniform_protocol(NUDCProcess),
+        crash_plan=CrashPlan.of({"p1": 4}),
+        workload=single_action("p1", tick=1),
+        config=lossy,
+    )
+    report = run_ensemble([probe.with_(seed=seed) for seed in range(8)])
     violations = 0
-    for seed in range(8):
-        run = Executor(
-            procs,
-            uniform_protocol(NUDCProcess),
-            crash_plan=CrashPlan.of({"p1": 4}),
-            workload=single_action("p1", tick=1),
-            config=lossy,
-            seed=seed,
-        ).run()
+    for run in report.runs:
         action = next(iter(actions_in(run)), None)
         if action is not None and not dc2(run, action):
             violations += 1
@@ -179,18 +178,15 @@ def run_e02(n: int = 4, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentResult:
     # one-shot protocol loses its single copies on a lossy channel when
     # the performer crashes.
     lossy = FAIR.with_channel(drop_prob=0.8, max_consecutive_drops=8)
-    violations = 0
-    for seed in range(8):
-        run = Executor(
-            procs,
-            uniform_protocol(ReliableUDCProcess),
-            crash_plan=CrashPlan.of({"p1": 5}),
-            workload=single_action("p1", tick=1),
-            config=lossy,
-            seed=seed,
-        ).run()
-        if not udc_holds(run):
-            violations += 1
+    probe = RunSpec(
+        processes=procs,
+        protocol=uniform_protocol(ReliableUDCProcess),
+        crash_plan=CrashPlan.of({"p1": 5}),
+        workload=single_action("p1", tick=1),
+        config=lossy,
+    )
+    report = run_ensemble([probe.with_(seed=seed) for seed in range(8)])
+    violations = sum(1 for run in report.runs if not udc_holds(run))
     result.row("UDC violations on fair-lossy", f"{violations}/8")
     result.require(violations > 0, "reliable channels are load-bearing")
     result.details.update(runs=len(system), lossy_violations=violations)
@@ -526,14 +522,14 @@ def run_e07(n: int = 5, seeds: Sequence[int] = (0, 1)) -> ExperimentResult:
     # reports never satisfy the usefulness inequality, so initiators
     # starve (DC1 fails for the correct initiator).
     t_big = (n + 1) // 2
-    run = Executor(
-        procs,
-        uniform_protocol(GeneralizedFDUDCProcess, t=t_big),
-        crash_plan=CrashPlan.none(),
-        workload=single_action("p1", tick=1),
-        detector=TrivialSubsetOracle(t_big),
-        seed=0,
-    ).run()
+    run = run_spec(
+        RunSpec(
+            processes=procs,
+            protocol=uniform_protocol(GeneralizedFDUDCProcess, t=t_big),
+            workload=single_action("p1", tick=1),
+            detector=TrivialSubsetOracle(t_big),
+        )
+    )
     action = next(iter(actions_in(run)))
     result.require(
         not dc1(run, action),
@@ -827,19 +823,21 @@ def run_a13(
     # suspicions it performs immediately -- and its crash can erase the
     # action.
     lossy = FAIR.with_channel(drop_prob=0.8, max_consecutive_drops=8)
+    base = RunSpec(
+        processes=procs,
+        protocol=uniform_protocol(StrongFDUDCProcess, resend_rounds=60),
+        crash_plan=CrashPlan.of({"p1": 12}),
+        workload=single_action("p1", tick=1),
+        config=lossy,
+    )
     rates = []
     for eps in error_rates:
+        detector = NoisyStrongOracle(error_rate=eps, start_tick=1, interval=1)
+        report = run_ensemble(
+            [base.with_(detector=detector, seed=seed) for seed in seeds]
+        )
         violations = 0
-        for seed in seeds:
-            run = Executor(
-                procs,
-                uniform_protocol(StrongFDUDCProcess, resend_rounds=60),
-                crash_plan=CrashPlan.of({"p1": 12}),
-                workload=single_action("p1", tick=1),
-                detector=NoisyStrongOracle(error_rate=eps, start_tick=1, interval=1),
-                config=lossy,
-                seed=seed,
-            ).run()
+        for run in report.runs:
             action = next(iter(actions_in(run)), None)
             if action is not None and not dc2(run, action):
                 violations += 1
@@ -925,23 +923,20 @@ def run_a15(n: int = 5, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentResult:
     procs = make_process_ids(n)
     crossover = None
     for t in range(0, n):
-        ok_all = True
-        for seed in seeds:
-            plan = (
-                staggered_plan(procs, list(procs)[-t:], first_tick=6)
-                if t
-                else CrashPlan.none()
-            )
-            run = Executor(
-                procs,
-                uniform_protocol(GeneralizedFDUDCProcess, t=t),
-                crash_plan=plan,
-                workload=single_action("p1", tick=1),
-                detector=TrivialSubsetOracle(t),
-                seed=seed,
-            ).run()
-            if not udc_holds(run):
-                ok_all = False
+        plan = (
+            staggered_plan(procs, list(procs)[-t:], first_tick=6)
+            if t
+            else CrashPlan.none()
+        )
+        base = RunSpec(
+            processes=procs,
+            protocol=uniform_protocol(GeneralizedFDUDCProcess, t=t),
+            crash_plan=plan,
+            workload=single_action("p1", tick=1),
+            detector=TrivialSubsetOracle(t),
+        )
+        report = run_ensemble([base.with_(seed=seed) for seed in seeds])
+        ok_all = all(bool(udc_holds(run)) for run in report.runs)
         result.row(f"t={t}", "UDC" if ok_all else "fails")
         if not ok_all and crossover is None:
             crossover = t
@@ -1066,15 +1061,17 @@ def run_a16(n: int = 4, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentResult:
             channel=ChannelConfig(drop_prob=0.2, partitions=partitions),
             validate=False,  # the finite-R5 heuristic misreads in-partition drops
         )
-        run = Executor(
-            procs,
-            uniform_protocol(StrongFDUDCProcess, resend_rounds=70),
-            crash_plan=CrashPlan.of({procs[-1]: 8}),
-            workload=single_action("p1", tick=1),
-            detector=PerfectOracle(),
-            config=config,
-            seed=seed,
-        ).run()
+        run = run_spec(
+            RunSpec(
+                processes=procs,
+                protocol=uniform_protocol(StrongFDUDCProcess, resend_rounds=70),
+                crash_plan=CrashPlan.of({procs[-1]: 8}),
+                workload=single_action("p1", tick=1),
+                detector=PerfectOracle(),
+                config=config,
+                seed=seed,
+            )
+        )
         verdict = udc_holds(run)
         return verdict, completion_latency(run, action)
 
@@ -1196,11 +1193,11 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 
 
 def run_experiment(exp_id: str) -> ExperimentResult:
-    """Run one experiment by id (case-insensitive)."""
-    try:
-        fn = ALL_EXPERIMENTS[exp_id.upper()]
-    except KeyError:
-        raise ValueError(
-            f"unknown experiment {exp_id!r}; known: {sorted(ALL_EXPERIMENTS)}"
-        ) from None
-    return fn()
+    """Run one experiment by id (case-insensitive).
+
+    Delegates to :mod:`repro.harness.registry`, so E09 (Table 1) is also
+    reachable here even though it lives in :mod:`repro.harness.table1`.
+    """
+    from repro.harness import registry
+
+    return registry.run(exp_id)

@@ -1,0 +1,94 @@
+"""The experiment registry: one catalogue of every runnable experiment.
+
+The CLIs (``python -m repro.harness``, ``python -m repro``) and the
+benchmarks select experiments from here instead of hand-maintained
+dispatch tables.  Each entry couples an experiment id (``E01``...``E13``,
+``A13``...``A17``) with its runner and a one-line summary scraped from
+the runner's docstring.
+
+``register`` is public so downstream work can add experiments without
+editing this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.harness.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: id, runner, one-line summary."""
+
+    exp_id: str
+    runner: Callable[[], ExperimentResult]
+    summary: str
+
+    def run(self) -> ExperimentResult:
+        return self.runner()
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(
+    exp_id: str,
+    runner: Callable[[], ExperimentResult],
+    summary: str | None = None,
+) -> Experiment:
+    """Add (or replace) a registry entry; returns it."""
+    if summary is None:
+        summary = (runner.__doc__ or "").strip().splitlines()[0] if runner.__doc__ else ""
+    exp = Experiment(exp_id.upper(), runner, summary)
+    _REGISTRY[exp.exp_id] = exp
+    return exp
+
+
+def _populate() -> None:
+    if _REGISTRY:
+        return
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.harness.table1 import run_e09
+
+    for exp_id, fn in ALL_EXPERIMENTS.items():
+        register(exp_id, fn)
+    register("E09", run_e09, "Table 1: detector requirements for UDC vs consensus.")
+
+
+def get(exp_id: str) -> Experiment:
+    """Look up one experiment (case-insensitive)."""
+    _populate()
+    try:
+        return _REGISTRY[exp_id.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; known: {experiment_ids()}"
+        ) from None
+
+
+def experiment_ids() -> list[str]:
+    """Every registered id, E-series first, each series in order."""
+    _populate()
+    return sorted(_REGISTRY, key=lambda e: (not e.startswith("E"), e))
+
+
+def experiments() -> Iterator[Experiment]:
+    """Registered experiments, in id order."""
+    _populate()
+    for exp_id in experiment_ids():
+        yield _REGISTRY[exp_id]
+
+
+def run(exp_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get(exp_id).run()
+
+
+def describe() -> str:
+    """A readable id -> summary listing (the CLIs' ``--list`` output)."""
+    _populate()
+    width = max(len(e) for e in _REGISTRY)
+    lines = [f"{exp.exp_id.ljust(width)}  {exp.summary}" for exp in experiments()]
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ crossovers fall.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Sequence
 
 from repro.core.consensus import (
@@ -42,7 +43,8 @@ from repro.detectors.standard import (
     StrongOracle,
 )
 from repro.model.context import ChannelSemantics, make_process_ids
-from repro.sim.executor import ExecutionConfig, Executor
+from repro.runtime import ExecutionBackend, RunSpec, run_ensemble
+from repro.sim.executor import ExecutionConfig
 from repro.sim.failures import CrashPlan, staggered_plan
 from repro.sim.network import ChannelConfig
 from repro.sim.process import uniform_protocol
@@ -106,24 +108,22 @@ def _udc_trial(
     t: int,
     channel: ChannelSemantics,
     seeds: Sequence[int],
+    backend: ExecutionBackend | None = None,
 ) -> bool:
     """Run UDC trials with t staggered crashes; all runs must satisfy UDC."""
     faulty = list(procs)[-t:] if t else []
     plan = staggered_plan(procs, faulty, first_tick=6) if t else CrashPlan.none()
     workload = single_action("p1", tick=1) + single_action("p2", tick=9, name="b0")
-    for seed in seeds:
-        run = Executor(
-            procs,
-            protocol_factory,
-            crash_plan=plan,
-            workload=workload,
-            detector=detector,
-            config=_config(channel),
-            seed=seed,
-        ).run()
-        if not udc_holds(run):
-            return False
-    return True
+    base = RunSpec(
+        processes=tuple(procs),
+        protocol=protocol_factory,
+        crash_plan=plan,
+        workload=workload,
+        detector=detector,
+        config=_config(channel),
+    )
+    report = run_ensemble([base.with_(seed=s) for s in seeds], backend=backend)
+    return all(bool(udc_holds(run)) for run in report.runs)
 
 
 def _consensus_trial(
@@ -134,6 +134,7 @@ def _consensus_trial(
     channel: ChannelSemantics,
     seeds: Sequence[int],
     plan: CrashPlan | None = None,
+    backend: ExecutionBackend | None = None,
     **kwargs,
 ) -> bool:
     values = {p: f"v{i % 2}" for i, p in enumerate(procs)}
@@ -143,24 +144,31 @@ def _consensus_trial(
     config = ExecutionConfig(
         channel=ChannelConfig(semantics=channel), max_ticks=3000
     )
-    for seed in seeds:
-        run = Executor(
-            procs,
-            consensus_factory(cls, values, **kwargs),
-            crash_plan=plan,
-            detector=detector,
-            config=config,
-            seed=seed,
-        ).run()
-        if not check_consensus(run, values):
-            return False
-    return True
+    base = RunSpec(
+        processes=tuple(procs),
+        protocol=consensus_factory(cls, values, **kwargs),
+        crash_plan=plan,
+        detector=detector,
+        config=config,
+    )
+    report = run_ensemble([base.with_(seed=s) for s in seeds], backend=backend)
+    return all(check_consensus(run, values) for run in report.runs)
 
 
-def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
-    """Execute every Table 1 cell and collect the verdicts."""
+def build_table1(
+    n: int = 5,
+    seeds: Sequence[int] = (0, 1),
+    backend: ExecutionBackend | None = None,
+) -> Table1:
+    """Execute every Table 1 cell and collect the verdicts.
+
+    ``backend`` selects how each cell's seed sweep executes (defaults to
+    the process-wide default backend; see :mod:`repro.runtime`).
+    """
     procs = make_process_ids(n)
     table = Table1(n=n)
+    _udc = partial(_udc_trial, backend=backend)
+    _cons = partial(_consensus_trial, backend=backend)
 
     for channel in (ChannelSemantics.RELIABLE, ChannelSemantics.FAIR_LOSSY):
         channel_name = (
@@ -171,7 +179,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
 
             # ---- the UDC row -------------------------------------------------
             if channel is ChannelSemantics.RELIABLE:
-                ok = _udc_trial(
+                ok = _udc(
                     procs,
                     uniform_protocol(ReliableUDCProcess),
                     NoDetector(),
@@ -186,7 +194,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
                 if regime == "t < n/2":
                     # Gopal-Toueg: the trivial subset detector consults no
                     # ground truth; this is the "no FD" cell.
-                    ok = _udc_trial(
+                    ok = _udc(
                         procs,
                         uniform_protocol(GeneralizedFDUDCProcess, t=t),
                         TrivialSubsetOracle(t),
@@ -198,7 +206,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
                         Cell(channel_name, "UDC", regime, "no FD", ok)
                     )
                 elif regime == "n/2 <= t < n-1":
-                    ok = _udc_trial(
+                    ok = _udc(
                         procs,
                         uniform_protocol(GeneralizedFDUDCProcess, t=t),
                         GeneralizedOracle(t, padding=1),
@@ -206,7 +214,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
                         channel,
                         seeds,
                     )
-                    weaker = _udc_trial(
+                    weaker = _udc(
                         procs,
                         uniform_protocol(GeneralizedFDUDCProcess, t=t),
                         TrivialSubsetOracle(t),
@@ -226,7 +234,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
                         )
                     )
                 else:  # t >= n-1: perfect detectors (Thm 3.6 + Prop 3.4)
-                    ok = _udc_trial(
+                    ok = _udc(
                         procs,
                         uniform_protocol(StrongFDUDCProcess),
                         PerfectOracle(),
@@ -234,7 +242,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
                         channel,
                         seeds,
                     )
-                    weaker = _udc_trial(
+                    weaker = _udc(
                         procs,
                         uniform_protocol(GeneralizedFDUDCProcess, t=t),
                         TrivialSubsetOracle(t),
@@ -256,7 +264,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
 
             # ---- the consensus row ---------------------------------------------
             if regime == "t < n/2":
-                ok = _consensus_trial(
+                ok = _cons(
                     procs,
                     RotatingCoordinatorConsensus,
                     EventuallyWeakOracle(stabilization_tick=30),
@@ -272,7 +280,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
                 flp_plan = CrashPlan.of(
                     {p: 2 + i for i, p in enumerate(list(procs)[:t])}
                 )
-                weaker = _consensus_trial(
+                weaker = _cons(
                     procs,
                     RotatingCoordinatorConsensus,
                     NoDetector(),
@@ -293,10 +301,10 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
                     )
                 )
             elif regime == "n/2 <= t < n-1":
-                ok = _consensus_trial(
+                ok = _cons(
                     procs, StrongConsensusProcess, StrongOracle(), t, channel, seeds
                 )
-                weaker = _consensus_trial(
+                weaker = _cons(
                     procs,
                     RotatingCoordinatorConsensus,
                     EventuallyWeakOracle(stabilization_tick=30),
@@ -317,7 +325,7 @@ def build_table1(n: int = 5, seeds: Sequence[int] = (0, 1)) -> Table1:
                 )
             else:
                 # t >= n-1: Strong = Perfect (footnote 3 / Prop 3.4).
-                ok = _consensus_trial(
+                ok = _cons(
                     procs, StrongConsensusProcess, StrongOracle(), t, channel, seeds
                 )
                 table.cells.append(

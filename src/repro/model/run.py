@@ -97,6 +97,12 @@ class Run:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Runs cross process boundaries (repro.runtime's pool backend
+        # returns them from workers); rebuild from the constructor args
+        # rather than shipping the derived prefix-history index.
+        return (Run, (self._processes, self._timelines, self._duration, self.meta))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         total = sum(len(t) for t in self._timelines.values())
         return f"Run(n={len(self._processes)}, events={total}, duration={self._duration})"

@@ -143,10 +143,33 @@ def decode_event(data: dict) -> Event:
 
 
 def _encode_meta(meta: dict) -> dict:
-    """Keep only JSON-safe meta entries (crash plans etc. are re-derivable)."""
+    """Encode JSON-safe meta entries plus tagged crash plans.
+
+    Crash plans are the one structured meta value the analyses read back
+    (``run.meta["crash_plan"]``), and the runtime's disk cache
+    (:class:`repro.runtime.RunCache`) needs them to survive the
+    round-trip; other non-scalar entries are dropped.
+    """
+    from repro.sim.failures import CrashPlan  # local: model must not need sim
+
     out = {}
     for key, value in meta.items():
         if isinstance(value, (type(None), bool, int, float, str)):
+            out[key] = value
+        elif isinstance(value, CrashPlan):
+            out[key] = {"__t": "crash_plan", "crashes": [list(c) for c in value.crashes]}
+    return out
+
+
+def _decode_meta(meta: dict) -> dict:
+    """Inverse of :func:`_encode_meta` (tolerates pre-tag archives)."""
+    from repro.sim.failures import CrashPlan
+
+    out = {}
+    for key, value in meta.items():
+        if isinstance(value, dict) and value.get("__t") == "crash_plan":
+            out[key] = CrashPlan(tuple((p, t) for p, t in value["crashes"]))
+        else:
             out[key] = value
     return out
 
@@ -177,7 +200,7 @@ def run_from_dict(data: dict) -> Run:
         tuple(data["processes"]),
         timelines,
         duration=data["duration"],
-        meta=data.get("meta", {}),
+        meta=_decode_meta(data.get("meta", {})),
     )
 
 

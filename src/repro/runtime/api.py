@@ -1,0 +1,124 @@
+"""The runtime's entry points: ``run_spec`` and ``run_ensemble``.
+
+``run_ensemble`` is the one place ensembles get executed: it expands a
+declarative :class:`EnsembleSpec` (or takes explicit RunSpecs), serves
+what it can from the run cache, hands the misses to an execution
+backend, and assembles an :class:`EnsembleReport` in spec order.  The
+legacy builders in :mod:`repro.sim.ensembles` are thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.model.run import Run
+from repro.runtime.backends import (
+    ExecutionBackend,
+    backend_from_name,
+    get_default_backend,
+)
+from repro.runtime.cache import RunCache, default_run_cache
+from repro.runtime.report import EnsembleReport, RunMetrics, metrics_for
+from repro.runtime.spec import EnsembleSpec, RunSpec
+
+#: sentinel distinguishing "use the default cache" from "no cache"
+_DEFAULT = object()
+
+
+def _resolve_backend(backend: ExecutionBackend | str | None) -> ExecutionBackend:
+    if backend is None:
+        return get_default_backend()
+    if isinstance(backend, str):
+        return backend_from_name(backend)
+    return backend
+
+
+def run_spec(
+    spec: RunSpec,
+    *,
+    cache: RunCache | None | object = _DEFAULT,
+) -> Run:
+    """Execute one spec (serially), via the cache."""
+    resolved = default_run_cache() if cache is _DEFAULT else cache
+    if resolved is not None:
+        hit = resolved.get(spec)
+        if hit is not None:
+            return hit
+    from repro.sim.executor import Executor
+
+    run = Executor.from_spec(spec).run()
+    if resolved is not None:
+        resolved.put(spec, run)
+    return run
+
+
+def run_ensemble(
+    spec: EnsembleSpec | Sequence[RunSpec],
+    *,
+    backend: ExecutionBackend | str | None = None,
+    cache: RunCache | None | object = _DEFAULT,
+) -> EnsembleReport:
+    """Execute every run of an ensemble and report.
+
+    Parameters
+    ----------
+    spec:
+        An :class:`EnsembleSpec` (expanded plan-major/seed-minor) or an
+        explicit sequence of :class:`RunSpec`.
+    backend:
+        An :class:`ExecutionBackend`, a backend name (``"serial"``,
+        ``"process"``, ``"process:N"``), or None for the process-wide
+        default (serial unless overridden / ``REPRO_BACKEND``).
+    cache:
+        A :class:`RunCache`, None to disable caching, or omitted for
+        the process-wide default in-memory cache.
+
+    Results are in spec order and independent of the backend: the same
+    spec list yields field-for-field identical runs under every backend.
+    """
+    if isinstance(spec, EnsembleSpec):
+        specs = spec.expand()
+        context = spec.context
+    else:
+        specs = tuple(spec)
+        context = next((s.context for s in specs if s.context is not None), None)
+    resolved_backend = _resolve_backend(backend)
+    resolved_cache = default_run_cache() if cache is _DEFAULT else cache
+
+    start = time.perf_counter()
+    runs: list[Run | None] = [None] * len(specs)
+    cached = [False] * len(specs)
+    wall: list[float] = [0.0] * len(specs)
+
+    pending: list[tuple[int, RunSpec]] = []
+    for i, s in enumerate(specs):
+        hit = resolved_cache.get(s) if resolved_cache is not None else None
+        if hit is not None:
+            runs[i] = hit
+            cached[i] = True
+        else:
+            pending.append((i, s))
+
+    if pending:
+        results = resolved_backend.run_all([s for _, s in pending])
+        for (i, s), (run, elapsed) in zip(pending, results):
+            runs[i] = run
+            wall[i] = elapsed
+            if resolved_cache is not None:
+                resolved_cache.put(s, run)
+
+    total = time.perf_counter() - start
+    metrics: list[RunMetrics] = [
+        metrics_for(i, specs[i], runs[i], wall[i], cached[i])  # type: ignore[arg-type]
+        for i in range(len(specs))
+    ]
+    return EnsembleReport(
+        specs=specs,
+        runs=tuple(runs),  # type: ignore[arg-type]
+        metrics=tuple(metrics),
+        backend=resolved_backend.name,
+        wall_time=total,
+        cache_hits=sum(cached),
+        context=context,
+    )

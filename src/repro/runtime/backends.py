@@ -1,0 +1,153 @@
+"""Execution backends: where and how a batch of RunSpecs is executed.
+
+All backends satisfy the same contract: ``run_all(specs)`` returns one
+``(run, wall_time)`` pair per spec, **in spec order**, and every run is
+bitwise what ``Executor.from_spec(spec).run()`` produces -- executions
+are deterministic functions of their specs, so placement (this process,
+a worker pool, eventually a remote fleet) is invisible in the results.
+
+* :class:`SerialBackend` -- executes in-process, one spec after another.
+  The default; identical to the pre-runtime behaviour.
+* :class:`ProcessPoolBackend` -- fans chunks of specs out to a
+  ``concurrent.futures.ProcessPoolExecutor``.  Specs must pickle (see
+  :func:`repro.runtime.spec.spec_digest`); results are re-ordered by
+  spec index, so output order never depends on worker scheduling.
+
+The module-level default backend is what ``run_ensemble`` uses when no
+backend is passed; it is ``serial`` unless overridden by
+``set_default_backend`` or the ``REPRO_BACKEND`` environment variable
+(``serial``, ``process``, or ``process:N`` for N workers).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.model.run import Run
+from repro.runtime.spec import RunSpec
+from repro.sim.executor import Executor
+
+#: One backend result: the run plus its measured wall time in seconds.
+TimedRun = tuple[Run, float]
+
+
+def _execute_spec(spec: RunSpec) -> TimedRun:
+    start = time.perf_counter()
+    run = Executor.from_spec(spec).run()
+    return run, time.perf_counter() - start
+
+
+def _execute_chunk(chunk: list[tuple[int, RunSpec]]) -> list[tuple[int, TimedRun]]:
+    """Worker entry point: execute an indexed chunk of specs."""
+    return [(index, _execute_spec(spec)) for index, spec in chunk]
+
+
+class ExecutionBackend(ABC):
+    """Executes batches of RunSpecs; results are ordered by spec index."""
+
+    #: short name recorded in EnsembleReport.backend
+    name: str = "backend"
+
+    @abstractmethod
+    def run_all(self, specs: Sequence[RunSpec]) -> list[TimedRun]:
+        """Execute every spec; element i corresponds to specs[i]."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process sequential execution (the default)."""
+
+    name = "serial"
+
+    def run_all(self, specs: Sequence[RunSpec]) -> list[TimedRun]:
+        return [_execute_spec(spec) for spec in specs]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Parallel execution over a worker-process pool.
+
+    Specs are dispatched in contiguous chunks (amortizing pickling and
+    task overhead) and results are re-assembled by index, so the output
+    order is deterministic regardless of which worker finished first.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.chunksize = chunksize
+
+    def _check_picklable(self, specs: Sequence[RunSpec]) -> None:
+        for i, spec in enumerate(specs):
+            try:
+                pickle.dumps(spec, protocol=4)
+            except Exception as exc:
+                raise ValueError(
+                    f"spec {i} (seed={spec.seed}) is not picklable and cannot "
+                    f"cross process boundaries: {exc!r}; use SerialBackend or "
+                    "replace closures/lambdas in the spec with the picklable "
+                    "factory classes (e.g. repro.sim.process.UniformProtocol)"
+                ) from exc
+
+    def run_all(self, specs: Sequence[RunSpec]) -> list[TimedRun]:
+        n = len(specs)
+        if n == 0:
+            return []
+        if n == 1 or self.max_workers == 1:
+            return SerialBackend().run_all(specs)
+        self._check_picklable(specs)
+        chunksize = self.chunksize or max(1, -(-n // (self.max_workers * 4)))
+        indexed = list(enumerate(specs))
+        chunks = [
+            indexed[i : i + chunksize] for i in range(0, n, chunksize)
+        ]
+        results: list[TimedRun | None] = [None] * n
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            for chunk_result in pool.map(_execute_chunk, chunks):
+                for index, timed in chunk_result:
+                    results[index] = timed
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise RuntimeError(f"backend lost results for specs {missing}")
+        return results  # type: ignore[return-value]
+
+
+_default_backend: ExecutionBackend | None = None
+
+
+def backend_from_name(name: str) -> ExecutionBackend:
+    """Resolve ``serial`` / ``process`` / ``process:N`` to a backend."""
+    name = name.strip().lower()
+    if name in ("", "serial"):
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend()
+    if name.startswith("process:"):
+        return ProcessPoolBackend(max_workers=int(name.split(":", 1)[1]))
+    raise ValueError(
+        f"unknown backend {name!r}; expected 'serial', 'process', or 'process:N'"
+    )
+
+
+def get_default_backend() -> ExecutionBackend:
+    """The backend ``run_ensemble`` uses when none is given."""
+    global _default_backend
+    if _default_backend is None:
+        _default_backend = backend_from_name(os.environ.get("REPRO_BACKEND", "serial"))
+    return _default_backend
+
+
+def set_default_backend(backend: ExecutionBackend | str | None) -> None:
+    """Override the process-wide default backend (None resets to env/serial)."""
+    global _default_backend
+    if isinstance(backend, str):
+        backend = backend_from_name(backend)
+    _default_backend = backend

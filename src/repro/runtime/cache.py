@@ -1,0 +1,104 @@
+"""The content-addressed run cache.
+
+Runs are pure functions of their specs, so a run computed once for a
+spec is the run for every identical spec -- across experiments, harness
+invocations, and benchmark rounds.  :class:`RunCache` exploits that:
+
+* keys are :func:`repro.runtime.spec.spec_digest` content hashes
+  (sha256 over the spec's pickled fields); specs that do not pickle
+  (lambda blackholes and the like) are simply never cached;
+* entries live in memory, and optionally on disk as the JSON run format
+  of :mod:`repro.model.serialize` -- point ``directory`` at a path to
+  persist runs across processes;
+* invalidation is automatic by construction: any change to a spec field
+  (protocol class or kwargs, crash plan, workload, detector, channel
+  config, seed) changes the digest, so stale hits cannot happen.  Wipe
+  the directory (or ``clear()``) after changing *executor semantics*,
+  which are outside the key.
+
+``run_ensemble`` consults the process-wide default cache unless told
+otherwise; disable with ``run_ensemble(..., cache=None)``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.model.run import Run
+from repro.runtime.spec import RunSpec, spec_digest
+
+
+class RunCache:
+    """Content-addressed run store: in-memory, optionally disk-backed."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._memory: dict[str, Run] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.skips = 0  # unpicklable specs: cache not applicable
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, digest: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{digest}.json"
+
+    def get(self, spec: RunSpec) -> Run | None:
+        """The cached run for this spec, or None."""
+        digest = spec_digest(spec)
+        if digest is None:
+            self.skips += 1
+            return None
+        run = self._memory.get(digest)
+        if run is None and self.directory is not None:
+            path = self._path(digest)
+            if path.exists():
+                from repro.model.serialize import load_run
+
+                run = load_run(path)
+                # The JSON codec keeps scalars and crash plans; anything
+                # else the executor recorded is recoverable from the spec.
+                run.meta.setdefault("crash_plan", spec.crash_plan)
+                self._memory[digest] = run
+        if run is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run
+
+    def put(self, spec: RunSpec, run: Run) -> None:
+        """Store the run computed for this spec (no-op if unpicklable)."""
+        digest = spec_digest(spec)
+        if digest is None:
+            return
+        self._memory[digest] = run
+        if self.directory is not None:
+            from repro.model.serialize import save_run
+
+            save_run(run, self._path(digest))
+
+    def clear(self) -> None:
+        """Forget every in-memory entry (disk files are left alone)."""
+        self._memory.clear()
+        self.hits = self.misses = self.skips = 0
+
+
+_default_cache: RunCache | None = None
+
+
+def default_run_cache() -> RunCache:
+    """The process-wide in-memory cache ``run_ensemble`` uses by default."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = RunCache()
+    return _default_cache
+
+
+def set_default_run_cache(cache: RunCache | None) -> None:
+    """Replace the process-wide default cache (None resets to a fresh one)."""
+    global _default_cache
+    _default_cache = cache

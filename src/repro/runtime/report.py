@@ -1,0 +1,111 @@
+"""Per-run metrics and the ensemble-level report.
+
+Every ``run_ensemble`` call returns an :class:`EnsembleReport`: the runs
+(in spec order), one :class:`RunMetrics` per run, and batch-level
+figures (backend, total wall time, cache hits).  ``report.system()``
+lifts the runs into the :class:`repro.model.system.System` the knowledge
+machinery consumes, so the report is a strict superset of what the
+legacy ensemble builders returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.model.run import Run
+from repro.model.system import System
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.model.context import Context
+    from repro.runtime.spec import RunSpec
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """What one run cost and produced."""
+
+    index: int  # position in the expanded spec list
+    seed: int
+    wall_time: float  # seconds; 0.0 for cache hits
+    ticks: int  # run.duration
+    events: int  # total appended history events
+    delivered: int  # messages delivered by the channel
+    dropped: int  # messages dropped by the channel
+    cached: bool  # served from the run cache
+
+
+def metrics_for(index: int, spec: "RunSpec", run: Run, wall_time: float, cached: bool) -> RunMetrics:
+    """Assemble the metrics row for one executed (or cached) run."""
+    return RunMetrics(
+        index=index,
+        seed=spec.seed,
+        wall_time=wall_time,
+        ticks=run.duration,
+        events=sum(len(run.timeline(p)) for p in run.processes),
+        delivered=int(run.meta.get("delivered", 0)),
+        dropped=int(run.meta.get("dropped", 0)),
+        cached=cached,
+    )
+
+
+@dataclass(frozen=True)
+class EnsembleReport:
+    """The outcome of one ``run_ensemble`` call."""
+
+    specs: tuple["RunSpec", ...]
+    runs: tuple[Run, ...]
+    metrics: tuple[RunMetrics, ...]
+    backend: str
+    wall_time: float  # whole-batch wall time, seconds
+    cache_hits: int
+    context: "Context | None" = None
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def system(self) -> System:
+        """The runs as a System (the knowledge machinery's input)."""
+        return System(self.runs, context=self.context)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def executed(self) -> int:
+        return len(self.runs) - self.cache_hits
+
+    @property
+    def total_ticks(self) -> int:
+        return sum(m.ticks for m in self.metrics)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(m.delivered for m in self.metrics)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(m.dropped for m in self.metrics)
+
+    @property
+    def run_wall_time(self) -> float:
+        """Summed per-run execution time (> wall_time under parallelism)."""
+        return sum(m.wall_time for m in self.metrics)
+
+    def summary(self) -> str:
+        """One readable paragraph of batch statistics."""
+        n = len(self.runs)
+        mean_ticks = self.total_ticks / n if n else 0.0
+        lines = [
+            f"ensemble of {n} runs via {self.backend} backend in {self.wall_time:.3f}s",
+            f"    executed {self.executed}, cache hits {self.cache_hits}",
+            f"    ticks total {self.total_ticks} (mean {mean_ticks:.1f}); "
+            f"messages delivered {self.total_delivered}, dropped {self.total_dropped}",
+        ]
+        if self.executed:
+            lines.append(
+                f"    per-run wall time sum {self.run_wall_time:.3f}s "
+                f"(speedup x{self.run_wall_time / self.wall_time:.2f})"
+                if self.wall_time > 0
+                else f"    per-run wall time sum {self.run_wall_time:.3f}s"
+            )
+        return "\n".join(lines)

@@ -10,6 +10,15 @@ hypotheses hold of the ensemble:
   exactly S fails (``all_crash_plans``), at varied crash times;
 * "infinitely many initiations": workloads continue past every crash
   (:func:`repro.workloads.generators.post_crash_workload`).
+
+.. deprecated::
+    These builders are thin compatibility wrappers over the declarative
+    runtime API -- :class:`repro.runtime.EnsembleSpec` plus
+    :func:`repro.runtime.run_ensemble` -- which adds backend selection
+    (parallel execution), run caching, and per-run metrics.  New code
+    should use the runtime API directly; ``build_ensemble(...)`` is
+    exactly ``run_ensemble(EnsembleSpec(...), backend=SerialBackend(),
+    cache=None).system()``.
 """
 
 from __future__ import annotations
@@ -19,10 +28,9 @@ from typing import Callable, Iterable, Sequence
 from repro.detectors.base import DetectorOracle
 from repro.model.context import Context
 from repro.model.events import ProcessId
-from repro.model.run import Run
 from repro.model.system import System
-from repro.sim.executor import ExecutionConfig, Executor, InitSchedule, ProtocolFactory
-from repro.sim.failures import CrashPlan, all_crash_plans
+from repro.sim.executor import ExecutionConfig, InitSchedule, ProtocolFactory
+from repro.sim.failures import CrashPlan
 
 WorkloadFor = Callable[[CrashPlan], InitSchedule]
 
@@ -38,23 +46,23 @@ def build_ensemble(
     config: ExecutionConfig | None = None,
     context: Context | None = None,
 ) -> System:
-    """Run the protocol for every (crash plan, seed) pair and collect a System."""
-    runs: list[Run] = []
-    for plan in crash_plans:
-        schedule = workload(plan) if callable(workload) else workload
-        for seed in seeds:
-            executor = Executor(
-                processes,
-                protocol_factory,
-                crash_plan=plan,
-                workload=schedule,
-                detector=detector,
-                config=config,
-                seed=seed,
-                context=context,
-            )
-            runs.append(executor.run())
-    return System(runs, context=context)
+    """Run the protocol for every (crash plan, seed) pair and collect a System.
+
+    Compatibility wrapper; see the module docstring for the runtime API.
+    """
+    from repro.runtime import EnsembleSpec, SerialBackend, run_ensemble
+
+    spec = EnsembleSpec(
+        processes=tuple(processes),
+        protocol=protocol_factory,
+        crash_plans=tuple(crash_plans),
+        workload=workload,
+        detector=detector,
+        seeds=tuple(seeds),
+        config=config,
+        context=context,
+    )
+    return run_ensemble(spec, backend=SerialBackend(), cache=None).system()
 
 
 def a5t_ensemble(
@@ -69,17 +77,21 @@ def a5t_ensemble(
     config: ExecutionConfig | None = None,
     context: Context | None = None,
 ) -> System:
-    """An ensemble covering every failure pattern of size <= t (A5_t)."""
-    plans = list(
-        all_crash_plans(processes, max_failures=t, crash_tick=crash_tick)
-    )
-    return build_ensemble(
+    """An ensemble covering every failure pattern of size <= t (A5_t).
+
+    Compatibility wrapper over :meth:`repro.runtime.EnsembleSpec.a5t`.
+    """
+    from repro.runtime import EnsembleSpec, SerialBackend, run_ensemble
+
+    spec = EnsembleSpec.a5t(
         processes,
         protocol_factory,
-        crash_plans=plans,
+        t=t,
         workload=workload,
         detector=detector,
         seeds=seeds,
+        crash_tick=crash_tick,
         config=config,
         context=context,
     )
+    return run_ensemble(spec, backend=SerialBackend(), cache=None).system()

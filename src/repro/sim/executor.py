@@ -29,8 +29,9 @@ convention is faithful (DESIGN.md, substitution 1).
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.detectors.base import DetectorOracle, GroundTruthView, NoDetector
 from repro.model.context import ChannelSemantics, Context
@@ -49,6 +50,9 @@ from repro.model.run import Run, validate_run
 from repro.sim.failures import CrashPlan
 from repro.sim.network import ChannelConfig, make_channel
 from repro.sim.process import ProcessEnv, ProtocolProcess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.spec import RunSpec
 
 #: (tick, process, action) triples; see repro.workloads.
 InitSchedule = Sequence[tuple[int, ProcessId, ActionId]]
@@ -120,6 +124,17 @@ class Executor:
             p: [] for p in self.processes
         }
         self._crashed: set[ProcessId] = set()
+        # tick -> processes whose planned crash lands on that tick (ticks
+        # start at 1, so a plan's tick 0 lands on the first tick).
+        by_tick: dict[int, list[ProcessId]] = {}
+        for pid in self.processes:
+            planned = crash_plan.crash_tick(pid)
+            if planned is not None:
+                by_tick.setdefault(max(planned, 1), []).append(pid)
+        self._crash_index: dict[int, tuple[ProcessId, ...]] = {
+            t: tuple(pids) for t, pids in by_tick.items()
+        }
+        self._last_crash_tick = max(self._crash_index, default=0)
         self._skip_streak: dict[ProcessId, int] = {p: 0 for p in self.processes}
         # Per-process queues of pending inits, in schedule order.
         self._pending_inits: dict[ProcessId, list[tuple[int, ActionId]]] = {
@@ -129,6 +144,24 @@ class Executor:
             if pid not in self._pending_inits:
                 raise ValueError(f"workload names unknown process {pid!r}")
             self._pending_inits[pid].append((tick, action))
+
+    @classmethod
+    def from_spec(cls, spec: "RunSpec") -> "Executor":
+        """Build an executor from a declarative :class:`repro.runtime.RunSpec`.
+
+        This is the canonical constructor; the kwargs form exists for
+        incremental construction and for the legacy call sites.
+        """
+        return cls(
+            spec.processes,
+            spec.protocol,
+            crash_plan=spec.crash_plan,
+            workload=spec.workload,
+            detector=spec.detector,
+            config=spec.config,
+            seed=spec.seed,
+            context=spec.context,
+        )
 
     # -- helpers -------------------------------------------------------------
 
@@ -165,10 +198,8 @@ class Executor:
         )
 
     def _crashes_done(self, tick: int) -> bool:
-        return all(
-            pid in self._crashed
-            for pid in self.crash_plan.faulty
-        )
+        """Every planned crash has landed at or before ``tick``."""
+        return tick >= self._last_crash_tick
 
     # -- main loop ----------------------------------------------------------------
 
@@ -184,16 +215,7 @@ class Executor:
             appended_this_tick = False
 
             # 1. planned crashes land first; a crash occupies the tick.
-            crashing = [
-                p
-                for p in self._live()
-                if self.crash_plan.crash_tick(p) == tick
-                or (
-                    self.crash_plan.crash_tick(p) is not None
-                    and self.crash_plan.crash_tick(p) < tick
-                )
-            ]
-            for pid in crashing:
+            for pid in self._crash_index.get(tick, ()):
                 self._append(pid, tick, CrashEvent(pid))
                 self._crashed.add(pid)
                 self._actual_crash_ticks[pid] = tick
@@ -312,9 +334,28 @@ class Executor:
 
 
 def execute(
-    processes: Iterable[ProcessId],
-    protocol_factory: ProtocolFactory,
+    spec_or_processes,
+    protocol_factory: ProtocolFactory | None = None,
     **kwargs,
 ) -> Run:
-    """One-shot convenience wrapper around :class:`Executor`."""
-    return Executor(processes, protocol_factory, **kwargs).run()
+    """One-shot execution: the canonical shape is ``execute(RunSpec(...))``.
+
+    The legacy kwargs shape ``execute(processes, protocol_factory, ...)``
+    still works but duplicates :class:`Executor`'s parameter plumbing and
+    is deprecated; build a :class:`repro.runtime.RunSpec` instead.
+    """
+    from repro.runtime.spec import RunSpec  # local: avoids an import cycle
+
+    if isinstance(spec_or_processes, RunSpec):
+        if protocol_factory is not None or kwargs:
+            raise TypeError(
+                "execute(spec) takes no further arguments; put them in the spec"
+            )
+        return Executor.from_spec(spec_or_processes).run()
+    warnings.warn(
+        "execute(processes, protocol_factory, **kwargs) is deprecated; "
+        "pass a repro.runtime.RunSpec instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Executor(spec_or_processes, protocol_factory, **kwargs).run()

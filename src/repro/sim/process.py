@@ -18,6 +18,7 @@ sources (they are given none).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.model.events import (
@@ -129,10 +130,23 @@ class ProtocolProcess:
 JointProtocolFactory = "Callable[[ProcessId, ProcessEnv], ProtocolProcess]"
 
 
+@dataclass(frozen=True)
+class UniformProtocol:
+    """A picklable joint-protocol factory: every process runs the same class.
+
+    Being a frozen dataclass (rather than a closure) makes factories
+    picklable -- which :class:`repro.runtime.ProcessPoolBackend` needs to
+    ship specs to worker processes -- and gives two factories built from
+    the same arguments equal pickles, which keys the run cache.
+    """
+
+    cls: type
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __call__(self, pid: ProcessId, env: ProcessEnv) -> ProtocolProcess:
+        return self.cls(pid, env, **dict(self.kwargs))
+
+
 def uniform_protocol(cls, /, **kwargs):
     """A joint-protocol factory where every process runs ``cls(pid, env, **kwargs)``."""
-
-    def factory(pid: ProcessId, env: ProcessEnv) -> ProtocolProcess:
-        return cls(pid, env, **kwargs)
-
-    return factory
+    return UniformProtocol(cls, tuple(sorted(kwargs.items())))

@@ -1,0 +1,60 @@
+"""Tests for the experiment registry behind the CLIs."""
+
+import pytest
+
+from repro.harness import registry
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.results import ExperimentResult
+
+
+class TestRegistryContents:
+    def test_covers_all_experiments_plus_e09(self):
+        assert set(registry.experiment_ids()) == set(ALL_EXPERIMENTS) | {"E09"}
+
+    def test_ids_order_e_series_first(self):
+        ids = registry.experiment_ids()
+        e_series = [i for i in ids if i.startswith("E")]
+        a_series = [i for i in ids if i.startswith("A")]
+        assert ids == e_series + a_series
+        assert e_series == sorted(e_series)
+        assert a_series == sorted(a_series)
+
+    def test_summaries_scraped_from_docstrings(self):
+        exp = registry.get("E01")
+        assert exp.summary  # first docstring line, non-empty
+        assert "Prop 2.3" in exp.summary
+
+    def test_describe_lists_every_id(self):
+        text = registry.describe()
+        for exp_id in registry.experiment_ids():
+            assert exp_id in text
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert registry.get("e09").exp_id == "E09"
+        assert registry.get("a14").exp_id == "A14"
+
+    def test_unknown_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            registry.get("E99")
+
+    def test_run_executes_the_runner(self):
+        result = registry.run("A14")
+        assert isinstance(result, ExperimentResult)
+        assert result.exp_id == "A14"
+
+
+class TestRegister:
+    def test_custom_registration(self):
+        def run_x99():
+            """A probe experiment."""
+            return ExperimentResult("X99", "t", "c", passed=True)
+
+        try:
+            exp = registry.register("x99", run_x99)
+            assert exp.exp_id == "X99"
+            assert exp.summary == "A probe experiment."
+            assert registry.run("x99").passed
+        finally:
+            registry._REGISTRY.pop("X99", None)

@@ -1,0 +1,111 @@
+"""Tests for the content-addressed run cache."""
+
+from repro.core.protocols import NUDCProcess
+from repro.model.context import make_process_ids
+from repro.runtime import (
+    EnsembleSpec,
+    RunCache,
+    RunSpec,
+    SerialBackend,
+    run_ensemble,
+    run_spec,
+)
+from repro.sim.executor import ExecutionConfig
+from repro.sim.failures import CrashPlan
+from repro.sim.network import ChannelConfig
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(3)
+
+
+def spec(seed=0, **overrides):
+    fields = dict(
+        processes=PROCS,
+        protocol=uniform_protocol(NUDCProcess),
+        crash_plan=CrashPlan.of({"p2": 5}),
+        workload=single_action("p1", tick=1),
+        seed=seed,
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+class TestMemoryCache:
+    def test_second_lookup_hits(self):
+        cache = RunCache()
+        first = run_spec(spec(), cache=cache)
+        second = run_spec(spec(), cache=cache)
+        assert first == second
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_different_specs_do_not_collide(self):
+        cache = RunCache()
+        a = run_spec(spec(seed=0), cache=cache)
+        b = run_spec(spec(seed=1), cache=cache)
+        assert a != b
+        assert len(cache) == 2
+
+    def test_unpicklable_specs_are_skipped_not_broken(self):
+        cache = RunCache()
+        config = ExecutionConfig(
+            channel=ChannelConfig(blackhole=lambda s, r, m: False),
+            validate=False,
+        )
+        run = run_spec(spec(config=config), cache=cache)
+        again = run_spec(spec(config=config), cache=cache)
+        assert run == again
+        assert len(cache) == 0
+        assert cache.skips > 0
+
+    def test_clear(self):
+        cache = RunCache()
+        run_spec(spec(), cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+
+
+class TestDiskCache:
+    def test_round_trip_across_cache_instances(self, tmp_path):
+        first = RunCache(tmp_path)
+        original = run_spec(spec(), cache=first)
+        fresh = RunCache(tmp_path)  # cold memory, warm disk
+        restored = fresh.get(spec())
+        assert restored is not None
+        assert fresh.hits == 1
+        assert restored == original
+        assert restored.meta["crash_plan"] == spec().crash_plan
+
+    def test_disk_files_are_content_addressed(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_spec(spec(), cache=cache)
+        files = list(tmp_path.glob("*.json"))
+        assert [f.stem for f in files] == [spec().digest()]
+
+
+class TestEnsembleCaching:
+    def test_second_ensemble_is_all_hits(self):
+        cache = RunCache()
+        grid = EnsembleSpec(
+            processes=PROCS,
+            protocol=uniform_protocol(NUDCProcess),
+            crash_plans=(CrashPlan.none(), CrashPlan.of({"p2": 5})),
+            workload=single_action("p1", tick=1),
+            seeds=(0, 1),
+        )
+        cold = run_ensemble(grid, backend=SerialBackend(), cache=cache)
+        warm = run_ensemble(grid, backend=SerialBackend(), cache=cache)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(grid)
+        assert warm.executed == 0
+        assert all(m.cached for m in warm.metrics)
+        assert list(warm.runs) == list(cold.runs)
+
+    def test_cache_none_disables_caching(self):
+        cache = RunCache()
+        grid = [spec(seed=s) for s in (0, 1)]
+        run_ensemble(grid, backend=SerialBackend(), cache=None)
+        assert len(cache) == 0

@@ -213,6 +213,54 @@ class TestMeta:
         assert run.meta["dropped"] == 0
 
 
+class TestSpecExecution:
+    def spec(self, **overrides):
+        from repro.runtime import RunSpec
+
+        fields = dict(
+            processes=PROCS,
+            protocol=uniform_protocol(EchoProcess),
+            crash_plan=CrashPlan.of({"p2": 4}),
+            workload=single_action("p1", tick=1),
+            detector=PerfectOracle(),
+            seed=11,
+        )
+        fields.update(overrides)
+        return RunSpec(**fields)
+
+    def test_from_spec_equals_legacy_constructor(self):
+        spec = self.spec()
+        via_spec = Executor.from_spec(spec).run()
+        legacy = Executor(
+            PROCS,
+            uniform_protocol(EchoProcess),
+            crash_plan=spec.crash_plan,
+            workload=spec.workload,
+            detector=spec.detector,
+            seed=spec.seed,
+        ).run()
+        assert via_spec == legacy
+
+    def test_execute_accepts_a_spec(self):
+        spec = self.spec()
+        assert execute(spec) == Executor.from_spec(spec).run()
+
+    def test_execute_spec_rejects_extra_arguments(self):
+        with pytest.raises(TypeError):
+            execute(self.spec(), uniform_protocol(EchoProcess))
+
+    def test_legacy_execute_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="RunSpec"):
+            execute(PROCS, uniform_protocol(EchoProcess), seed=1)
+
+    def test_crash_index_covers_multi_crash_ticks(self):
+        # Two processes crashing at the same tick both land there.
+        spec = self.spec(crash_plan=CrashPlan.of({"p2": 4, "p3": 4}))
+        run = Executor.from_spec(spec).run()
+        assert run.crash_time("p2") == 4
+        assert run.crash_time("p3") == 4
+
+
 class TestProcessEnv:
     def make_env(self):
         return ProcessEnv("p1", PROCS)
