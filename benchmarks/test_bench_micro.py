@@ -1,17 +1,35 @@
 """Microbenchmarks for the substrates: executor throughput, knowledge
-model checking, the indistinguishability index, and the f transformation.
+model checking, the indistinguishability index, and the f transformation
+-- plus the epistemic-kernel family (index build, Knows sweep, CK
+fixpoint) whose measurements are written to ``BENCH_kernel.json`` at the
+repo root as the committed performance baseline.
 
 These are the performance-sensitive inner loops every experiment rides
-on; they use pytest-benchmark's standard multi-round measurement.
+on; they use pytest-benchmark's standard multi-round measurement.  Set
+``REPRO_BENCH_SMOKE=1`` (as CI's bench-smoke job does) to skip the
+timing-ratio assertions while keeping every correctness assertion.
 """
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
 
 from repro.core.protocols import StrongFDUDCProcess
 from repro.core.simulation_theorem import transform_run_f
 from repro.detectors.standard import PerfectOracle
-from repro.knowledge import Crashed, Knows, ModelChecker
+from repro.knowledge import Crashed, GroupChecker, Knows, ModelChecker
 from repro.knowledge.paper_formulas import dc2_formula
+from repro.knowledge.reference import (
+    naive_common_knowledge_points,
+    naive_known_crashed_set,
+)
 from repro.model.context import make_process_ids
 from repro.model.run import Point
+from repro.model.synthetic import synthetic_system
 from repro.model.system import System
 from repro.sim.ensembles import a5t_ensemble
 from repro.sim.executor import Executor
@@ -20,6 +38,10 @@ from repro.sim.process import uniform_protocol
 from repro.workloads.generators import post_crash_workload, single_action
 
 PROCS = make_process_ids(4)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_KERNEL_JSON = REPO_ROOT / "BENCH_kernel.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 def one_run(seed=0):
@@ -108,3 +130,174 @@ def test_bench_transform_f(benchmark):
 
     out = benchmark(transform_run_f, run, system)
     assert out.duration == 2 * run.duration + 1
+
+
+# -- epistemic-kernel family --------------------------------------------------
+#
+# Synthetic systems sized by process count n: 3n runs of duration 8 with
+# crashes at varied times.  The same generators feed the differential
+# tests, so what is benchmarked here is exactly what is proven correct
+# there.
+
+KERNEL_NS = (5, 10, 20)
+KERNEL_DURATION = 8
+SWEEP_SAMPLE_RUNS = 3  # the naive sweep is quadratic; sample a slice
+
+
+def kernel_system(n):
+    return synthetic_system(
+        n, runs=3 * n, seed=n, duration=KERNEL_DURATION, crash_prob=0.4
+    )
+
+
+def _sweep_points(system):
+    """Points of the first SWEEP_SAMPLE_RUNS runs (the sweep workload)."""
+    sample = system.runs[:SWEEP_SAMPLE_RUNS]
+    return [Point(r, m) for r in sample for m in range(r.duration + 1)]
+
+
+def _knows_sweep(system, points):
+    """known_crashed_set for every (process, point) of the workload."""
+    total = 0
+    for p in system.processes:
+        for pt in points:
+            total += len(system.known_crashed_set(p, pt))
+    return total
+
+
+def _naive_knows_sweep(system, points):
+    total = 0
+    for p in system.processes:
+        for pt in points:
+            total += len(naive_known_crashed_set(system, p, pt))
+    return total
+
+
+@pytest.mark.parametrize("n", KERNEL_NS)
+def test_bench_kernel_index_build(benchmark, n):
+    """Cold class-table construction for all n processes."""
+    runs = kernel_system(n).runs
+
+    def build():
+        system = System(runs)
+        for p in system.processes:
+            system.classes(p)
+        return system
+
+    system = benchmark(build)
+    assert system.stats.index_builds == n
+    assert system.stats.points_indexed == n * system.point_count
+
+
+@pytest.mark.parametrize("n", KERNEL_NS)
+def test_bench_kernel_knows_sweep(benchmark, n):
+    """Warm known_crashed_set sweep over the sampled point workload."""
+    system = kernel_system(n)
+    for p in system.processes:
+        system.classes(p)
+    points = _sweep_points(system)
+
+    total = benchmark(_knows_sweep, system, points)
+    assert total == _naive_knows_sweep(system, points)
+
+
+@pytest.mark.parametrize("n", KERNEL_NS)
+def test_bench_kernel_ck_fixpoint(benchmark, n):
+    """The bitset C_G fixpoint over the full group (warm class bits)."""
+    system = kernel_system(n)
+    checker = GroupChecker(ModelChecker(system))
+    group = system.processes
+    phi = Crashed(system.processes[-1])
+    checker.common_knowledge_points(group, phi)  # warm class bits + phi set
+
+    points = benchmark(checker.common_knowledge_points, group, phi)
+    assert isinstance(points, set)
+
+
+def _best_of(fn, *args, repeat=3):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernel_baseline_json():
+    """Measure the kernel family, compare against the naive reference,
+    and write the committed baseline file ``BENCH_kernel.json``.
+
+    The >=5x speedup gates (Knows sweep and CK fixpoint at n=10) are the
+    issue's acceptance criteria; under REPRO_BENCH_SMOKE=1 only the
+    correctness assertions are enforced, never the timing ratios.
+    """
+    results = {}
+    for n in KERNEL_NS:
+        runs = kernel_system(n).runs
+
+        def build():
+            fresh = System(runs)
+            for p in fresh.processes:
+                fresh.classes(p)
+            return fresh
+
+        index_s = _best_of(build)
+
+        system = build()
+        points = _sweep_points(system)
+        fast_total = _knows_sweep(system, points)
+        sweep_s = _best_of(_knows_sweep, system, points)
+
+        checker = GroupChecker(ModelChecker(system))
+        group = system.processes
+        phi = Crashed(system.processes[-1])
+        fast_ck = checker.common_knowledge_points(group, phi)
+        ck_s = _best_of(checker.common_knowledge_points, group, phi)
+
+        entry = {
+            "runs": len(runs),
+            "points": system.point_count,
+            "classes": sum(len(system.classes(p)) for p in system.processes),
+            "index_build_s": index_s,
+            "knows_sweep_s": sweep_s,
+            "ck_fixpoint_s": ck_s,
+        }
+
+        if n <= 10:  # the naive path is quadratic; skip it at n=20
+            naive_total = _naive_knows_sweep(system, points)
+            assert fast_total == naive_total
+            naive_sweep_s = _best_of(_naive_knows_sweep, system, points, repeat=1)
+
+            naive_checker = ModelChecker(System(runs))
+            naive_ck = naive_common_knowledge_points(naive_checker, group, phi)
+            assert fast_ck == naive_ck
+            naive_ck_s = _best_of(
+                naive_common_knowledge_points, naive_checker, group, phi, repeat=1
+            )
+
+            entry["naive_knows_sweep_s"] = naive_sweep_s
+            entry["naive_ck_fixpoint_s"] = naive_ck_s
+            entry["knows_speedup"] = naive_sweep_s / sweep_s if sweep_s else float("inf")
+            entry["ck_speedup"] = naive_ck_s / ck_s if ck_s else float("inf")
+
+        results[f"n={n}"] = entry
+
+    baseline = {
+        "benchmark": "epistemic-kernel",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "config": {
+            "runs_per_n": "3*n",
+            "duration": KERNEL_DURATION,
+            "crash_prob": 0.4,
+            "sweep_sample_runs": SWEEP_SAMPLE_RUNS,
+            "timer": "best of 3 (naive: 1) perf_counter runs",
+        },
+        "results": results,
+    }
+    BENCH_KERNEL_JSON.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    if not SMOKE:
+        at10 = results["n=10"]
+        assert at10["knows_speedup"] >= 5.0, at10
+        assert at10["ck_speedup"] >= 5.0, at10

@@ -4,7 +4,9 @@ The headline check: a ProcessPoolBackend with 4 workers beats the
 SerialBackend by >= 2x on a 32-run ensemble -- and produces
 field-for-field identical runs.  Equality is asserted unconditionally;
 the speedup floor only applies where the hardware can deliver it (>= 4
-CPUs), since a single-core box serializes the pool anyway.
+CPUs), since a single-core box serializes the pool anyway, and is
+skipped entirely under REPRO_BENCH_SMOKE=1 (CI's bench-smoke job, which
+enforces only correctness assertions).
 """
 
 import os
@@ -61,7 +63,7 @@ def test_bench_pool_vs_serial_speedup():
         f"pool({WORKERS}) {pooled_s:.2f}s, speedup x{speedup:.2f} "
         f"({os.cpu_count()} CPUs)"
     )
-    if (os.cpu_count() or 1) >= WORKERS:
+    if os.environ.get("REPRO_BENCH_SMOKE") != "1" and (os.cpu_count() or 1) >= WORKERS:
         assert speedup >= 2.0, (
             f"expected >=2x speedup with {WORKERS} workers on "
             f"{os.cpu_count()} CPUs, got x{speedup:.2f}"

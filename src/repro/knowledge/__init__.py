@@ -11,6 +11,9 @@
 * :mod:`repro.knowledge.paper_formulas` -- the specific formulas the
   paper reasons with: Proposition 3.5's epistemic precondition and the
   DC1-DC3 properties as temporal formulas.
+* :mod:`repro.knowledge.reference`  -- the naive point-scanning kernel,
+  retained as the differential-testing and benchmarking baseline for
+  the class-based fast path.
 """
 
 from repro.knowledge.formulas import (

@@ -41,13 +41,12 @@ def insensitive_to_failure(
     phi's truth there with its truth at points carrying history h.
     """
     system = checker.system
-    # Group representative points by history for `process`.
-    seen: dict = {}
-    for run in system:
-        for m in range(run.duration + 1):
-            h = run.history(process, m)
-            if h not in seen:
-                seen[h] = Point(run, m)
+    # One representative point per ~_process class; the kernel's class
+    # table enumerates histories in first-occurrence order, so this is
+    # the same scan as before minus the per-point re-hashing.
+    seen: dict = {
+        cls.history: cls.representative for cls in system.classes(process)
+    }
     for history, point in seen.items():
         if not history.crashed:
             continue

@@ -47,17 +47,59 @@ def e_iterated(group: Sequence[ProcessId], formula: Formula, depth: int) -> Form
     return current
 
 
+def _iter_bits(bits: int):
+    """Yield the set bit positions of a Python-int bitset."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
 class GroupChecker:
     """Semantic group-knowledge queries over one finite system.
 
     Distributed and common knowledge are *not* expressible as finite
     formulas in general, so they are computed semantically here rather
     than as AST nodes.
+
+    Both C_G and the E^k ladder run over the system's integer-indexed
+    class graph: point sets are Python-int bitsets (bit i = point id i),
+    and one E_G step keeps exactly the points whose ~_p class is wholly
+    inside the current set, for every p in G -- an AND/OR sweep over
+    class bitsets instead of a formula re-walk per point.
     """
 
     def __init__(self, checker: ModelChecker) -> None:
         self.checker = checker
         self.system = checker.system
+
+    # -- bitset plumbing ---------------------------------------------------
+
+    def _formula_bits(self, formula: Formula) -> int:
+        """The bitset of in-system points satisfying ``formula``."""
+        bits = 0
+        pid = 0
+        holds = self.checker.holds
+        for run in self.system.runs:
+            for m in range(run.duration + 1):
+                if holds(formula, Point(run, m)):
+                    bits |= 1 << pid
+                pid += 1
+        return bits
+
+    def _e_step(self, class_bits: Sequence[Sequence[int]], current: int) -> int:
+        """One E_G application: points whose every member-class is in ``current``."""
+        self.system.stats.ck_fixpoint_iterations += 1
+        if not class_bits:
+            return (1 << self.system.point_count) - 1  # empty conjunction
+        result = None
+        for per_process in class_bits:
+            keep = 0
+            for bits in per_process:
+                if bits & current == bits:
+                    keep |= bits
+            result = keep if result is None else result & keep
+        return result
 
     # -- distributed knowledge -------------------------------------------------
 
@@ -86,47 +128,29 @@ class GroupChecker:
     ) -> set[tuple[int, int]]:
         """The set of points (run_index, time) where C_G phi holds.
 
-        Computed as the greatest fixpoint of X = E_G(phi and X) by
-        iterated refinement over the finite point space: start from the
-        points satisfying phi, repeatedly remove points some member of
-        G considers possibly-outside, until stable.
+        Computed as the greatest fixpoint of X = E_G(phi and X): start
+        from the bitset of points satisfying phi and apply the bitset
+        E_G step until stable.
         """
-        runs = list(self.system.runs)
-        index = {run: i for i, run in enumerate(runs)}
-        # Start from all points satisfying phi.
-        current: set[tuple[int, int]] = set()
-        for i, run in enumerate(runs):
-            for m in range(run.duration + 1):
-                if self.checker.holds(formula, Point(run, m)):
-                    current.add((i, m))
-        changed = True
-        while changed:
-            changed = False
-            for i, m in list(current):
-                point = Point(runs[i], m)
-                for p in self.system.processes:
-                    if p not in group:
-                        continue
-                    for candidate in self.system.indistinguishable_points(p, point):
-                        key = (index[candidate.run], min(candidate.time, candidate.run.duration))
-                        if key not in current:
-                            current.discard((i, m))
-                            changed = True
-                            break
-                    if (i, m) not in current:
-                        break
-        return current
+        system = self.system
+        members = [p for p in system.processes if p in group]
+        class_bits = [system.class_bitsets(p) for p in members]
+        current = self._formula_bits(formula)
+        while True:
+            refined = self._e_step(class_bits, current) & current
+            if refined == current:
+                break
+            current = refined
+        return {system.point_key(pid) for pid in _iter_bits(current)}
 
     def common_knowledge(
         self, group: Sequence[ProcessId], formula: Formula, point: Point
     ) -> bool:
         """C_G phi at a point (fixpoint semantics)."""
         points = self.common_knowledge_points(group, formula)
-        runs = list(self.system.runs)
-        try:
-            i = runs.index(point.run)
-        except ValueError:
-            raise ValueError("point's run is not in the system") from None
+        i = self.system.run_index(point.run)
+        if i is None:
+            raise ValueError("point's run is not in the system")
         return (i, min(point.time, point.run.duration)) in points
 
     # -- E^k climbing ----------------------------------------------------------------
@@ -139,12 +163,28 @@ class GroupChecker:
         *,
         cap: int = 10,
     ) -> int:
-        """The largest k <= cap with E_G^k phi true at the point."""
+        """The largest k <= cap with E_G^k phi true at the point.
+
+        Semantically: level sets S_0 = [[phi]], S_{k+1} = E_G(S_k) are
+        computed once as bitsets; E^k holds at the point iff each group
+        member's class of the point is contained in S_{k-1}.  Knowledge
+        is veridical, so the level sets only shrink and the first failed
+        level is final -- no nested formula is ever materialized.
+        """
+        system = self.system
+        # The point's class bitset per group member (by local history, so
+        # foreign points work; an absent class is empty = vacuous truth).
+        point_classes = [
+            system.class_bits_for_history(p, point.history(p)) for p in group
+        ]
+        members = [p for p in system.processes if p in group]
+        class_bits = [system.class_bitsets(p) for p in members]
+        level = self._formula_bits(formula)
         depth = 0
         while depth < cap:
-            if not self.checker.holds(
-                e_iterated(group, formula, depth + 1), point
-            ):
+            if not all(bits & level == bits for bits in point_classes):
                 break
             depth += 1
+            if depth < cap:
+                level = self._e_step(class_bits, level)
         return depth

@@ -55,6 +55,14 @@ class ModelChecker:
         self._point_cache: dict[tuple, bool] = {}
         self._temporal_cache: dict[tuple, list[bool]] = {}
         self._run_ids = {run: i for i, run in enumerate(system.runs)}
+        # Foreign runs (not in the system) get identity-based negative
+        # ids.  The dict is keyed by id(run) and the list pins a strong
+        # reference to every such run, so a foreign run's id() can never
+        # be recycled by a later allocation and alias a cache entry.
+        self._foreign_ids: dict[int, int] = {}
+        self._foreign_refs: list[Run] = []
+        #: kernel counters, shared with (and surfaced on) the system
+        self.stats = system.stats
 
     # -- public API ---------------------------------------------------------
 
@@ -92,8 +100,13 @@ class ModelChecker:
 
     def _run_id(self, run: Run) -> int:
         rid = self._run_ids.get(run)
-        if rid is None:  # a foreign run: identity-keyed, uncached index
-            rid = -1 - (id(run) % (1 << 30))
+        if rid is None:  # a foreign run: identity-keyed, reference-pinned
+            key = id(run)
+            rid = self._foreign_ids.get(key)
+            if rid is None:
+                rid = -1 - len(self._foreign_ids)
+                self._foreign_ids[key] = rid
+                self._foreign_refs.append(run)
         return rid
 
     def _eval(self, formula: Formula, point: Point) -> bool:
@@ -110,22 +123,30 @@ class ModelChecker:
             key = (formula, formula.locality, point.history(formula.locality))
             cached = self._local_cache.get(key)
             if cached is None:
+                self.stats.local_cache_misses += 1
                 cached = self._eval_node(formula, point)
                 self._local_cache[key] = cached
+            else:
+                self.stats.local_cache_hits += 1
             return cached
 
         key2 = (formula, self._run_id(run), time)
         cached = self._point_cache.get(key2)
         if cached is None:
+            self.stats.point_cache_misses += 1
             cached = self._eval_node(formula, point)
             self._point_cache[key2] = cached
+        else:
+            self.stats.point_cache_hits += 1
         return cached
 
     def _temporal_vector(self, formula: Formula, run: Run) -> list[bool]:
         key = (formula, self._run_id(run))
         vector = self._temporal_cache.get(key)
         if vector is not None:
+            self.stats.temporal_cache_hits += 1
             return vector
+        self.stats.temporal_cache_misses += 1
         child = formula.child
         horizon = run.duration
         values = [self._eval(child, Point(run, m)) for m in range(horizon + 1)]
@@ -175,10 +196,22 @@ class ModelChecker:
                 formula.consequent, point
             )
         if isinstance(formula, Knows):
-            candidates = self.system.indistinguishable_points(
-                formula.process, point
-            )
-            return all(
-                self._eval(formula.child, candidate) for candidate in candidates
-            )
+            # Class-based: the memo layer above already keys this node on
+            # p's local history, so this body runs once per ~_p class.
+            cls = self.system.class_of(formula.process, point)
+            if cls is None:
+                return True  # foreign history: vacuously true (empty class)
+            stats = self.stats
+            stats.knows_class_evals += 1
+            child = formula.child
+            if isinstance(child, Crashed):
+                # K_p(crash(q)) is one bit of the class's AND-mask.
+                bit = self.system.process_bit(child.process)
+                return bool((cls.known_crashed_mask >> bit) & 1)
+            evaluate = self._eval
+            for candidate in cls.points:
+                stats.knows_point_evals += 1
+                if not evaluate(child, candidate):
+                    return False
+            return True
         raise TypeError(f"unknown formula node {formula!r}")

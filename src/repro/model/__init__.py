@@ -8,7 +8,8 @@ This package implements the paper's run-based model verbatim:
 * :mod:`repro.model.run` -- runs (functions from time to cuts), points,
   and validators for conditions R1--R5.
 * :mod:`repro.model.system` -- systems (sets of runs) with the
-  indistinguishability index used for knowledge evaluation.
+  class-based indistinguishability kernel (interned histories,
+  equivalence classes, crash bitmasks) used for knowledge evaluation.
 * :mod:`repro.model.context` -- contexts: failure bounds, channel
   semantics, and failure-detector specifications.
 """
@@ -26,9 +27,9 @@ from repro.model.events import (
     StandardSuspicion,
     SuspectEvent,
 )
-from repro.model.history import Cut, History
+from repro.model.history import Cut, History, HistoryInterner
 from repro.model.run import Point, Run, RunValidationError, validate_run
-from repro.model.system import System
+from repro.model.system import EquivClass, KernelStats, System
 
 __all__ = [
     "ChannelSemantics",
@@ -36,9 +37,12 @@ __all__ = [
     "CrashEvent",
     "Cut",
     "DoEvent",
+    "EquivClass",
     "Event",
     "GeneralizedSuspicion",
     "History",
+    "HistoryInterner",
+    "KernelStats",
     "InitEvent",
     "Message",
     "Point",

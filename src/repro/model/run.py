@@ -31,7 +31,7 @@ from repro.model.events import (
     ReceiveEvent,
     SendEvent,
 )
-from repro.model.history import Cut, History
+from repro.model.history import Cut, EMPTY_HISTORY, History
 
 Timeline = tuple[tuple[int, Event], ...]
 
@@ -49,7 +49,15 @@ class Run:
     every time.
     """
 
-    __slots__ = ("_processes", "_timelines", "_duration", "meta", "_hash", "_prefixes")
+    __slots__ = (
+        "_processes",
+        "_timelines",
+        "_duration",
+        "meta",
+        "_hash",
+        "_prefixes",
+        "_crash_masks",
+    )
 
     def __init__(
         self,
@@ -77,10 +85,11 @@ class Run:
         # where entry i is the history after the first i timeline events.
         self._prefixes: dict[ProcessId, list[History]] = {}
         for p in self._processes:
-            prefixes = [History()]
+            prefixes = [EMPTY_HISTORY]
             for _, event in self._timelines[p]:
                 prefixes.append(prefixes[-1].append(event))
             self._prefixes[p] = prefixes
+        self._crash_masks: tuple[int, ...] | None = None
 
     # -- identity ----------------------------------------------------------
 
@@ -196,6 +205,33 @@ class Run:
         """True iff crash_process is in r_process(time)."""
         ct = self.crash_time(process)
         return ct is not None and ct <= min(time, self._duration)
+
+    def crash_masks(self) -> tuple[int, ...]:
+        """Per-time crash bitmasks: ``masks[m]`` has bit ``i`` set iff
+        ``processes[i]`` has crashed by time m.
+
+        Bit positions follow the run's process order; :class:`System`
+        requires one process tuple per system, so the masks of all its
+        runs share a bit layout.  Computed once per run and cached (the
+        masks are monotone, so the sweep is O(duration + crashes)).
+        """
+        masks = self._crash_masks
+        if masks is None:
+            crash_bits = sorted(
+                (ct, 1 << i)
+                for i, p in enumerate(self._processes)
+                if (ct := self.crash_time(p)) is not None
+            )
+            out = []
+            acc = 0
+            j = 0
+            for m in range(self._duration + 1):
+                while j < len(crash_bits) and crash_bits[j][0] <= m:
+                    acc |= crash_bits[j][1]
+                    j += 1
+                out.append(acc)
+            masks = self._crash_masks = tuple(out)
+        return masks
 
     # -- prefix relations -------------------------------------------------------
 

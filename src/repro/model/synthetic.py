@@ -1,0 +1,103 @@
+"""Synthetic run/system generators for kernel testing and benchmarking.
+
+The epistemic kernel's differential tests and microbenchmarks need
+systems whose indistinguishability structure is rich (many runs sharing
+local-history prefixes, crashes at varied times) but whose construction
+is cheap and deterministic.  Executing real protocols for that is
+overkill; these generators draw per-process timelines from a small
+shared event alphabet instead, so equal histories across runs are
+common and the ~_p class tables have non-trivial shape.
+
+Generated runs respect R1/R2/R4 structurally (events start at tick 1,
+one per tick, crash last); R3/R5 are *not* enforced -- the knowledge
+semantics never needs them, and the run validator is not invoked here.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.context import make_process_ids
+from repro.model.events import (
+    CrashEvent,
+    DoEvent,
+    Event,
+    Message,
+    ProcessId,
+    ReceiveEvent,
+    SendEvent,
+)
+from repro.model.run import Run
+from repro.model.system import System
+
+
+def synthetic_run(
+    processes: tuple[ProcessId, ...],
+    rng: random.Random,
+    *,
+    duration: int = 8,
+    crash_prob: float = 0.3,
+    event_prob: float = 0.5,
+    alphabet: int = 2,
+) -> Run:
+    """One random run over ``processes``.
+
+    Each process may crash (probability ``crash_prob``) at a uniform
+    time; before crashing it emits, per tick with probability
+    ``event_prob``, an event drawn from a ``3 * alphabet``-symbol
+    alphabet (do / send-to-neighbour / recv-from-neighbour).  The small
+    alphabet is deliberate: it makes equal histories across independent
+    runs likely, which is what exercises the class machinery.
+    """
+    n = len(processes)
+    timelines: dict[ProcessId, list[tuple[int, Event]]] = {}
+    for i, p in enumerate(processes):
+        crash_at = (
+            rng.randint(1, duration) if rng.random() < crash_prob else None
+        )
+        neighbour = processes[(i + 1) % n]
+        events: list[tuple[int, Event]] = []
+        for tick in range(1, duration + 1):
+            if crash_at is not None and tick >= crash_at:
+                events.append((tick, CrashEvent(p)))
+                break
+            if rng.random() >= event_prob:
+                continue
+            kind = rng.randrange(3)
+            symbol = rng.randrange(alphabet)
+            if kind == 0:
+                events.append((tick, DoEvent(p, (p, f"a{symbol}"))))
+            elif kind == 1:
+                events.append((tick, SendEvent(p, neighbour, Message(f"m{symbol}"))))
+            else:
+                events.append(
+                    (tick, ReceiveEvent(p, neighbour, Message(f"m{symbol}")))
+                )
+        timelines[p] = events
+    return Run(processes, timelines, duration)
+
+
+def synthetic_system(
+    n: int,
+    runs: int,
+    *,
+    seed: int = 0,
+    duration: int = 8,
+    crash_prob: float = 0.3,
+    event_prob: float = 0.5,
+    alphabet: int = 2,
+) -> System:
+    """A deterministic random system with ``runs`` runs over n processes."""
+    rng = random.Random(seed)
+    processes = make_process_ids(n)
+    return System(
+        synthetic_run(
+            processes,
+            rng,
+            duration=duration,
+            crash_prob=crash_prob,
+            event_prob=event_prob,
+            alphabet=alphabet,
+        )
+        for _ in range(runs)
+    )

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.model.run import Run
-from repro.model.system import System
+from repro.model.system import KernelStats, System
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.model.context import Context
@@ -33,6 +33,7 @@ class RunMetrics:
     delivered: int  # messages delivered by the channel
     dropped: int  # messages dropped by the channel
     cached: bool  # served from the run cache
+    points: int = 0  # duration + 1: the run's share of the kernel's point space
 
 
 def metrics_for(index: int, spec: "RunSpec", run: Run, wall_time: float, cached: bool) -> RunMetrics:
@@ -46,6 +47,7 @@ def metrics_for(index: int, spec: "RunSpec", run: Run, wall_time: float, cached:
         delivered=int(run.meta.get("delivered", 0)),
         dropped=int(run.meta.get("dropped", 0)),
         cached=cached,
+        points=run.duration + 1,
     )
 
 
@@ -65,8 +67,25 @@ class EnsembleReport:
         return len(self.runs)
 
     def system(self) -> System:
-        """The runs as a System (the knowledge machinery's input)."""
-        return System(self.runs, context=self.context)
+        """The runs as a System (the knowledge machinery's input).
+
+        Memoized: repeated calls return the same System, so the
+        epistemic kernel's class tables are built once per report and
+        its :class:`~repro.model.system.KernelStats` accumulate where
+        :attr:`kernel_stats` (and :meth:`summary`) can surface them.
+        """
+        cached = getattr(self, "_system", None)
+        if cached is None:
+            cached = System(self.runs, context=self.context)
+            object.__setattr__(self, "_system", cached)
+        return cached
+
+    @property
+    def kernel_stats(self) -> "KernelStats | None":
+        """Kernel counters of the memoized system, or None before
+        ``system()`` has ever been called (no kernel work happened)."""
+        cached = getattr(self, "_system", None)
+        return cached.stats if cached is not None else None
 
     # -- aggregates ---------------------------------------------------------
 
@@ -108,4 +127,7 @@ class EnsembleReport:
                 if self.wall_time > 0
                 else f"    per-run wall time sum {self.run_wall_time:.3f}s"
             )
+        stats = self.kernel_stats
+        if stats is not None and stats.index_builds + stats.index_derivations:
+            lines.append(f"    {stats.render()}")
         return "\n".join(lines)

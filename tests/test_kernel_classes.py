@@ -1,0 +1,366 @@
+"""Unit tests for the class-based epistemic kernel: history interning,
+equivalence classes, crash bitmasks, KernelStats, cache inheritance on
+restrict/union, and the foreign-run cache fix in the model checker."""
+
+import gc
+
+import pytest
+
+from repro.knowledge import Crashed, Knows, ModelChecker
+from repro.knowledge.formulas import Atom
+from repro.model.events import CrashEvent, DoEvent, Message, ReceiveEvent, SendEvent
+from repro.model.history import EMPTY_HISTORY, History, HistoryInterner
+from repro.model.run import Point, Run
+from repro.model.synthetic import synthetic_system
+from repro.model.system import System
+
+PROCS = ("p1", "p2", "p3")
+
+
+def run_with(timelines, duration=6):
+    return Run(PROCS, timelines, duration)
+
+
+def crash_run():
+    msg = Message("p3-down")
+    return run_with(
+        {
+            "p1": [(4, ReceiveEvent("p1", "p2", msg))],
+            "p2": [(3, SendEvent("p2", "p1", msg))],
+            "p3": [(2, CrashEvent("p3"))],
+        }
+    )
+
+
+def no_crash_run():
+    msg = Message("p3-down")
+    return run_with(
+        {
+            "p1": [],
+            "p2": [(3, SendEvent("p2", "p1", msg))],
+            "p3": [],
+        }
+    )
+
+
+class TestHistoryInterner:
+    def test_equal_histories_intern_to_one_node(self):
+        interner = HistoryInterner()
+        a = History([DoEvent("p1", ("p1", "a0")), DoEvent("p1", ("p1", "a1"))])
+        b = History([DoEvent("p1", ("p1", "a0")), DoEvent("p1", ("p1", "a1"))])
+        assert a is not b and a == b
+        assert interner.intern(a) is interner.intern(b)
+
+    def test_invariant_eq_iff_identity(self):
+        interner = HistoryInterner()
+        e1 = DoEvent("p1", ("p1", "a0"))
+        e2 = DoEvent("p1", ("p1", "a1"))
+        pool = [
+            History([e1]),
+            History([e1]),
+            History([e2]),
+            History([e1, e2]),
+            History([e1, e2]),
+            History([e2, e1]),
+        ]
+        for a in pool:
+            for b in pool:
+                assert (a == b) == (interner.intern(a) is interner.intern(b))
+
+    def test_empty_history_is_preinterned(self):
+        interner = HistoryInterner()
+        assert interner.intern(History()) is EMPTY_HISTORY
+
+    def test_hit_miss_counters(self):
+        interner = HistoryInterner()
+        h = History([DoEvent("p1", ("p1", "a0"))])
+        interner.intern(h)
+        assert interner.misses == 1
+        interner.intern(History([DoEvent("p1", ("p1", "a0"))]))
+        assert interner.hits == 1
+
+
+class TestCrashMasks:
+    def test_masks_match_crashed_by(self):
+        r = crash_run()
+        masks = r.crash_masks()
+        assert len(masks) == r.duration + 1
+        for m in range(r.duration + 1):
+            for i, p in enumerate(PROCS):
+                assert bool((masks[m] >> i) & 1) == r.crashed_by(p, m)
+
+    def test_masks_cached(self):
+        r = crash_run()
+        assert r.crash_masks() is r.crash_masks()
+
+
+class TestEquivClasses:
+    def test_classes_partition_points(self):
+        s = System([crash_run(), no_crash_run()])
+        for p in PROCS:
+            classes = s.classes(p)
+            total = sum(c.size for c in classes)
+            assert total == s.point_count
+            ids = [s.point_id(pt) for c in classes for pt in c.points]
+            assert sorted(ids) == list(range(s.point_count))
+
+    def test_class_of_consistency(self):
+        s = System([crash_run(), no_crash_run()])
+        for p in PROCS:
+            for run in s.runs:
+                for m in range(run.duration + 1):
+                    pt = Point(run, m)
+                    cls = s.class_of(p, pt)
+                    assert pt in cls.points
+                    assert cls.history == pt.history(p)
+
+    def test_known_crashed_mask_is_and_of_point_masks(self):
+        s = System([crash_run(), no_crash_run()])
+        for p in PROCS:
+            for cls in s.classes(p):
+                acc = -1
+                for mask in cls.point_masks:
+                    acc &= mask
+                assert cls.known_crashed_mask == acc
+
+    def test_class_histories_are_canonical(self):
+        s = System([crash_run(), no_crash_run()])
+        for p in PROCS:
+            for cls in s.classes(p):
+                assert s.interner.intern(cls.history) is cls.history
+
+    def test_point_id_roundtrip(self):
+        s = System([crash_run(), no_crash_run()])
+        for i, run in enumerate(s.runs):
+            for m in range(run.duration + 1):
+                pid = s.point_id(Point(run, m))
+                assert s.point_key(pid) == (i, m)
+                assert s.point_at(pid) == Point(run, m)
+
+    def test_point_id_clamps_beyond_duration(self):
+        s = System([crash_run()])
+        r = s.runs[0]
+        assert s.point_id(Point(r, r.duration + 5)) == s.point_id(
+            Point(r, r.duration)
+        )
+
+    def test_foreign_run_has_no_point_id(self):
+        s = System([crash_run()])
+        foreign = run_with({"p1": [], "p2": [], "p3": []}, duration=2)
+        assert s.point_id(Point(foreign, 0)) is None
+
+
+class TestVacuity:
+    """A point whose history occurs nowhere in the system has an empty
+    candidate set; K_p is then vacuously true.  Pinned here because the
+    docs warn about it (see System.knows)."""
+
+    def test_foreign_history_knows_everything(self):
+        s = System([no_crash_run()])
+        foreign_pt = Point(crash_run(), 4)  # p1 received: history not in s
+        assert s.knows("p1", foreign_pt, lambda pt: False)
+        assert s.knows_crashed("p1", foreign_pt, "p3")
+        assert s.known_crashed_set("p1", foreign_pt) == frozenset(PROCS)
+        assert s.known_crash_count("p1", foreign_pt, frozenset(PROCS)) == 0
+
+
+class TestKernelStats:
+    def test_index_builds_count_processes(self):
+        s = System([crash_run(), no_crash_run()])
+        assert s.stats.index_builds == 0
+        s.classes("p1")
+        s.classes("p1")
+        assert s.stats.index_builds == 1
+        s.classes("p2")
+        assert s.stats.index_builds == 2
+        assert s.stats.points_indexed == 2 * s.point_count
+        assert s.stats.classes_built >= 2
+
+    def test_checker_shares_system_stats(self):
+        s = System([crash_run(), no_crash_run()])
+        mc = ModelChecker(s)
+        assert mc.stats is s.stats
+        phi = Knows("p1", Crashed("p3"))
+        mc.holds(phi, Point(s.runs[0], 4))
+        assert mc.stats.knows_class_evals >= 1
+        assert mc.stats.local_cache_misses >= 1
+        mc.holds(phi, Point(s.runs[0], 4))
+        assert mc.stats.local_cache_hits >= 1
+
+    def test_intern_counters_surface(self):
+        s = System([crash_run(), no_crash_run()])
+        s.classes("p1")
+        st = s.stats
+        assert st.intern_hits + st.intern_misses >= s.point_count
+
+    def test_as_dict_and_merge(self):
+        s = System([crash_run()])
+        s.classes("p1")
+        d = s.stats.as_dict()
+        assert d["index_builds"] == 1
+        other = System([no_crash_run()])
+        other.classes("p1")
+        merged = s.stats.merge(other.stats)
+        assert merged.index_builds == 2
+
+    def test_render_mentions_classes(self):
+        s = System([crash_run()])
+        s.classes("p1")
+        assert "classes" in s.stats.render()
+
+
+class TestRestrictInheritance:
+    def test_no_reindex_on_restrict(self):
+        parent = System([crash_run(), no_crash_run()])
+        for p in PROCS:
+            parent.classes(p)
+        child = parent.restrict(lambda r: not r.faulty())
+        assert len(child) == 1
+        for p in PROCS:
+            child.classes(p)  # must be served from the derived tables
+        assert child.stats.index_builds == 0
+        assert child.stats.index_derivations == len(PROCS)
+
+    def test_restrict_shares_interner(self):
+        parent = System([crash_run(), no_crash_run()])
+        child = parent.restrict(lambda r: True)
+        assert child.interner is parent.interner
+
+    def test_unfiltered_classes_are_shared_objects(self):
+        parent = System([crash_run(), no_crash_run()])
+        parent.classes("p1")
+        child = parent.restrict(lambda r: True)  # keeps everything
+        parent_classes = {c.history: c for c in parent.classes("p1")}
+        for cls in child.classes("p1"):
+            assert parent_classes[cls.history] is cls
+
+    def test_restricted_knowledge_matches_fresh_system(self):
+        parent = System([crash_run(), no_crash_run()])
+        for p in PROCS:
+            parent.classes(p)
+        kept = [r for r in parent.runs if r.faulty()]
+        child = parent.restrict(lambda r: r.faulty())
+        fresh = System(kept)
+        for p in PROCS:
+            for run in kept:
+                for m in range(run.duration + 1):
+                    pt = Point(run, m)
+                    assert child.known_crashed_set(p, pt) == fresh.known_crashed_set(p, pt)
+                    assert child.known_crash_count(
+                        p, pt, frozenset(PROCS)
+                    ) == fresh.known_crash_count(p, pt, frozenset(PROCS))
+
+    def test_restrict_before_any_index_stays_lazy(self):
+        parent = System([crash_run(), no_crash_run()])
+        child = parent.restrict(lambda r: r.faulty())
+        # Nothing was built in the parent, so the child builds its own.
+        child.classes("p1")
+        assert child.stats.index_builds == 1
+
+
+class TestUnionInheritance:
+    def test_union_derives_built_tables(self):
+        a = System([crash_run()])
+        b = System([no_crash_run()])
+        for p in PROCS:
+            a.classes(p)
+        u = a.union(b)
+        for p in PROCS:
+            u.classes(p)
+        assert u.stats.index_builds == 0
+        assert u.stats.index_derivations == len(PROCS)
+
+    def test_union_knowledge_matches_fresh_system(self):
+        a = System([crash_run()])
+        b = System([no_crash_run()])
+        for p in PROCS:
+            a.classes(p)
+        u = a.union(b)
+        fresh = System([crash_run(), no_crash_run()])
+        for p in PROCS:
+            for run in fresh.runs:
+                for m in range(run.duration + 1):
+                    pt = Point(run, m)
+                    assert u.known_crashed_set(p, pt) == fresh.known_crashed_set(p, pt)
+
+    def test_union_still_dedupes(self):
+        a = System([crash_run()])
+        b = System([crash_run(), no_crash_run()])
+        assert len(a.union(b)) == 2
+
+    def test_union_point_order_matches_fresh_build(self):
+        a = System([crash_run()])
+        b = System([no_crash_run()])
+        a.classes("p1")
+        u = a.union(b)
+        fresh = System([crash_run(), no_crash_run()])
+        for cu, cf in zip(u.classes("p1"), fresh.classes("p1")):
+            assert cu.history == cf.history
+            assert cu.points == cf.points
+            assert cu.point_masks == cf.point_masks
+
+
+class TestForeignRunCacheFix:
+    """Regression for the old ``-1 - (id(run) % (1 << 30))`` fallback:
+    distinct foreign runs could collide (or a freed id could alias a new
+    run), poisoning the point/temporal caches."""
+
+    def _flag_formula(self):
+        # Non-local, so evaluation goes through the point cache keyed on
+        # (formula, run_id, time).
+        return Atom("meta-flag", lambda pt: bool(pt.run.meta.get("flag")))
+
+    def test_distinct_foreign_runs_get_distinct_ids(self):
+        s = System([no_crash_run()])
+        mc = ModelChecker(s)
+        f1 = run_with({"p1": [], "p2": [], "p3": []}, duration=1)
+        f2 = run_with({"p1": [], "p2": [], "p3": []}, duration=2)
+        assert mc._run_id(f1) != mc._run_id(f2)
+        assert mc._run_id(f1) == mc._run_id(f1)
+
+    def test_foreign_runs_are_pinned_against_id_reuse(self):
+        s = System([no_crash_run()])
+        mc = ModelChecker(s)
+        seen = set()
+        for i in range(50):
+            f = run_with({"p1": [], "p2": [], "p3": []}, duration=i + 1)
+            seen.add(mc._run_id(f))
+            del f
+            gc.collect()
+        # Every allocation got a fresh id even though the objects were
+        # dropped by the caller: the checker pins them.
+        assert len(seen) == 50
+        assert len(mc._foreign_refs) == 50
+
+    def test_foreign_cache_entries_do_not_alias(self):
+        s = System([no_crash_run()])
+        mc = ModelChecker(s)
+        phi = self._flag_formula()
+        flagged = Run(PROCS, {p: [] for p in PROCS}, 3, meta={"flag": True})
+        plain = Run(PROCS, {p: [] for p in PROCS}, 3, meta={"flag": False})
+        # Same timelines and duration (equal runs differ only in meta,
+        # which equality ignores) -- but identity-keyed foreign ids must
+        # still keep their cache entries apart.
+        assert mc.holds(phi, Point(flagged, 0)) is True
+        assert mc.holds(phi, Point(plain, 0)) is False
+        assert mc.holds(phi, Point(flagged, 0)) is True
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self):
+        a = synthetic_system(4, 6, seed=7)
+        b = synthetic_system(4, 6, seed=7)
+        assert a.runs == b.runs
+
+    def test_histories_overlap_across_runs(self):
+        s = synthetic_system(4, 12, seed=1)
+        # The small alphabet must actually produce shared classes.
+        assert any(cls.size > 1 for p in s.processes for cls in s.classes(p))
+
+    def test_crash_is_terminal(self):
+        s = synthetic_system(5, 10, seed=3, crash_prob=0.8)
+        for run in s.runs:
+            for p in run.processes:
+                events = list(run.events(p))
+                for e in events[:-1]:
+                    assert not isinstance(e, CrashEvent)

@@ -1,0 +1,131 @@
+"""Differential tests: class-based kernel vs the naive point-scanning
+reference (:mod:`repro.knowledge.reference`) on randomized small systems.
+
+Every knowledge primitive and both group-knowledge fixpoints must agree
+point-for-point with the retained naive implementation; this is what
+pins the fast path's semantics while the representation underneath it
+changes.
+"""
+
+import pytest
+
+from repro.knowledge import Crashed, GroupChecker, Knows, ModelChecker, Not
+from repro.knowledge.reference import (
+    naive_common_knowledge_points,
+    naive_indistinguishable_points,
+    naive_known_crash_count,
+    naive_known_crashed_set,
+    naive_knows,
+    naive_knows_crashed,
+    naive_max_e_depth,
+)
+from repro.model.synthetic import synthetic_system
+
+CASES = [
+    # (n processes, runs, seed, duration)
+    (2, 4, 0, 5),
+    (3, 6, 1, 6),
+    (3, 6, 2, 6),
+    (4, 8, 3, 6),
+    (4, 8, 4, 8),
+    (5, 6, 5, 6),
+]
+
+
+def make_system(case):
+    n, runs, seed, duration = case
+    return synthetic_system(n, runs, seed=seed, duration=duration)
+
+
+@pytest.fixture(params=CASES, ids=lambda c: f"n{c[0]}r{c[1]}s{c[2]}")
+def system(request):
+    return make_system(request.param)
+
+
+def test_indistinguishable_points_match(system):
+    for p in system.processes:
+        for pt in system.points():
+            fast = list(system.indistinguishable_points(p, pt))
+            naive = naive_indistinguishable_points(system, p, pt)
+            assert fast == naive
+
+
+def test_knows_crashed_matches(system):
+    for p in system.processes:
+        for pt in system.points():
+            for q in system.processes:
+                assert system.knows_crashed(p, pt, q) == naive_knows_crashed(
+                    system, p, pt, q
+                ), (p, pt.time, q)
+
+
+def test_known_crashed_set_matches(system):
+    for p in system.processes:
+        for pt in system.points():
+            assert system.known_crashed_set(p, pt) == naive_known_crashed_set(
+                system, p, pt
+            )
+
+
+def test_known_crash_count_matches(system):
+    procs = system.processes
+    subsets = [
+        frozenset(procs),
+        frozenset(procs[:1]),
+        frozenset(procs[1:]),
+        frozenset(procs[::2]),
+    ]
+    for p in procs:
+        for pt in system.points():
+            for subset in subsets:
+                assert system.known_crash_count(p, pt, subset) == naive_known_crash_count(
+                    system, p, pt, subset
+                )
+
+
+def test_generic_knows_matches(system):
+    victim = system.processes[-1]
+    predicate = lambda pt: pt.run.crashed_by(victim, pt.time)  # noqa: E731
+    for p in system.processes:
+        for pt in system.points():
+            assert system.knows(p, pt, predicate) == naive_knows(
+                system, p, pt, predicate
+            )
+
+
+def test_checker_knows_agrees_with_system_knows(system):
+    checker = ModelChecker(system)
+    victim = system.processes[-1]
+    for p in system.processes:
+        phi = Knows(p, Crashed(victim))
+        for pt in system.points():
+            assert checker.holds(phi, pt) == system.knows_crashed(p, pt, victim)
+
+
+def test_common_knowledge_points_match(system):
+    mc = ModelChecker(system)
+    group_checker = GroupChecker(mc)
+    victim = system.processes[-1]
+    groups = [
+        tuple(system.processes),
+        tuple(system.processes[:2]),
+    ]
+    for phi in (Crashed(victim), Not(Crashed(victim))):
+        for group in groups:
+            fast = group_checker.common_knowledge_points(group, phi)
+            naive = naive_common_knowledge_points(mc, group, phi)
+            assert fast == naive
+
+
+def test_max_e_depth_matches(system):
+    mc = ModelChecker(system)
+    group_checker = GroupChecker(mc)
+    victim = system.processes[-1]
+    group = tuple(system.processes)
+    phi = Crashed(victim)
+    for run in system.runs[:3]:
+        for m in (0, run.duration // 2, run.duration):
+            pt = next(p for p in system.points() if p.run is run and p.time == m)
+            assert group_checker.max_e_depth(
+                group, phi, pt, cap=4
+            ) == naive_max_e_depth(mc, group, phi, pt, cap=4)
