@@ -18,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.protocols import StrongFDUDCProcess
+from repro.core.protocols import NUDCProcess, StrongFDUDCProcess
 from repro.core.simulation_theorem import transform_run_f
 from repro.detectors.standard import PerfectOracle
 from repro.knowledge import Crashed, GroupChecker, Knows, ModelChecker
@@ -301,3 +301,116 @@ def test_kernel_baseline_json():
         at10 = results["n=10"]
         assert at10["knows_speedup"] >= 5.0, at10
         assert at10["ck_speedup"] >= 5.0, at10
+
+
+# -- explorer family ----------------------------------------------------------
+#
+# Bounded exhaustive enumeration (repro.explore) over the lossy NUDC
+# context: the state-space walk is the inner loop of every soundness
+# check, so throughput is tracked as states/second with the reductions
+# on and off.  The on/off run sets are asserted equal each round -- the
+# benchmark re-proves the reduction-soundness property it measures.
+
+EXPLORE_NS = (2, 3, 4)
+EXPLORE_HORIZON = 6
+BENCH_EXPLORE_JSON = REPO_ROOT / "BENCH_explore.json"
+
+
+def explore_spec(n, **overrides):
+    from repro.runtime import ExploreSpec
+    from repro.workloads.generators import single_action as one_action
+
+    base = dict(
+        processes=make_process_ids(n),
+        protocol=uniform_protocol(NUDCProcess),
+        horizon=EXPLORE_HORIZON,
+        max_failures=1,
+        crash_ticks=(1, 3, 5),
+        workload=one_action("p1", tick=1),
+        lossy=True,
+        max_consecutive_drops=1,
+    )
+    base.update(overrides)
+    return ExploreSpec(**base)
+
+
+@pytest.mark.parametrize("n", EXPLORE_NS)
+def test_bench_explore_exhaustive(benchmark, n):
+    """Full enumeration of the lossy NUDC context, reductions on."""
+    from repro.explore import explore
+
+    spec = explore_spec(n)
+    report = benchmark(explore, spec, cache=None)
+    assert report.complete
+    assert report.stats.runs_unique > 0
+
+
+def test_bench_explore_por_off(benchmark):
+    """The reductions-off baseline walk at n=3 (the soundness anchor)."""
+    from repro.explore import explore
+
+    spec = explore_spec(3, por=False, fingerprints=False)
+    report = benchmark(explore, spec, cache=None)
+    assert report.complete
+
+
+def test_explore_baseline_json():
+    """Measure explorer throughput (states/second, reductions on and
+    off) for n in {2, 3, 4}, re-assert run-set equality between the two
+    walks, and write the committed baseline ``BENCH_explore.json``."""
+    from repro.explore import explore
+
+    results = {}
+    for n in EXPLORE_NS:
+        spec = explore_spec(n)
+        reduced = explore(spec, cache=None)
+        reduced_s = _best_of(lambda s=spec: explore(s, cache=None))
+        baseline_spec = spec.with_(por=False, fingerprints=False)
+        baseline = explore(baseline_spec, cache=None)
+        baseline_s = _best_of(lambda s=baseline_spec: explore(s, cache=None))
+
+        assert reduced.complete and baseline.complete
+        assert set(reduced.runs) == set(baseline.runs)
+
+        results[f"n={n}"] = {
+            "executions": reduced.stats.executions,
+            "states": reduced.stats.states_expanded,
+            "runs": reduced.stats.runs_unique,
+            "por_skipped": reduced.stats.por_skipped,
+            "states_pruned": reduced.stats.states_pruned,
+            "explore_s": reduced_s,
+            "states_per_s": (
+                reduced.stats.states_expanded / reduced_s
+                if reduced_s
+                else float("inf")
+            ),
+            "baseline_executions": baseline.stats.executions,
+            "baseline_states": baseline.stats.states_expanded,
+            "baseline_explore_s": baseline_s,
+            "baseline_states_per_s": (
+                baseline.stats.states_expanded / baseline_s
+                if baseline_s
+                else float("inf")
+            ),
+        }
+
+    payload = {
+        "benchmark": "explore-enumeration",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "config": {
+            "protocol": "NUDC",
+            "horizon": EXPLORE_HORIZON,
+            "max_failures": 1,
+            "crash_ticks": [1, 3, 5],
+            "channel": "fair-lossy, budget 1",
+            "timer": "best of 3 perf_counter runs",
+        },
+        "results": results,
+    }
+    BENCH_EXPLORE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if not SMOKE:
+        for entry in results.values():
+            assert entry["states_per_s"] > 0
+            assert entry["runs"] > 0

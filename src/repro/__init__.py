@@ -63,13 +63,24 @@ from repro.detectors.standard import (
     StrongOracle,
     WeakOracle,
 )
+from repro.explore import (
+    ShrinkResult,
+    UniformityMonitor,
+    Violation,
+    explore,
+    shrink_violation,
+)
+from repro.explore import replay as replay_exploration
+from repro.explore.reduction import ExploreStats
 from repro.knowledge import Knows, ModelChecker
 from repro.model.context import ChannelSemantics, Context, make_process_ids
 from repro.model.run import Point, Run, validate_run
-from repro.model.system import System
+from repro.model.system import IncompleteSystemWarning, System
 from repro.runtime import (
     EnsembleReport,
     EnsembleSpec,
+    ExploreReport,
+    ExploreSpec,
     ProcessPoolBackend,
     RunCache,
     RunSpec,
@@ -95,8 +106,12 @@ __all__ = [
     "EventuallyWeakOracle",
     "ExecutionConfig",
     "Executor",
+    "ExploreReport",
+    "ExploreSpec",
+    "ExploreStats",
     "GeneralizedFDUDCProcess",
     "GeneralizedOracle",
+    "IncompleteSystemWarning",
     "Knows",
     "ModelChecker",
     "NUDCProcess",
@@ -109,19 +124,25 @@ __all__ = [
     "RunCache",
     "RunSpec",
     "SerialBackend",
+    "ShrinkResult",
     "StrongFDUDCProcess",
     "StrongOracle",
     "System",
     "TrivialSubsetOracle",
+    "UniformityMonitor",
+    "Violation",
     "WeakOracle",
     "a5t_ensemble",
     "action_id",
     "build_ensemble",
     "execute",
+    "explore",
+    "replay_exploration",
     "run_ensemble",
     "run_spec",
     "make_process_ids",
     "nudc_holds",
+    "shrink_violation",
     "simulate_generalized_detectors",
     "simulate_perfect_detectors",
     "single_action",

@@ -123,7 +123,7 @@ def dc3(run: Run, action: ActionId) -> PropertyVerdict:
     return PropertyVerdict.ok()
 
 
-def _each_action(run: Run, action: ActionId | None):
+def _each_action(run: Run, action: ActionId | None) -> list[ActionId]:
     if action is not None:
         return [action]
     # Include actions that were performed without init (DC3 violations).

@@ -87,7 +87,13 @@ class NoDetector(DetectorOracle):
 
     name = "none"
 
-    def poll(self, pid, tick, truth, rng):
+    def poll(
+        self,
+        pid: ProcessId,
+        tick: int,
+        truth: GroundTruthView,
+        rng: random.Random,
+    ) -> Suspicion | None:
         return None
 
 

@@ -17,6 +17,7 @@ transformed runs with the original oracle's events.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from repro.detectors.base import (
     ever_suspected,
@@ -48,13 +49,17 @@ class PropertyVerdict:
         return cls(False, witness)
 
 
-def _standard_reports(run: Run, pid: ProcessId, derived: bool):
+def _standard_reports(
+    run: Run, pid: ProcessId, derived: bool
+) -> Iterator[tuple[int, StandardSuspicion]]:
     for tick, report in suspicion_history(run, pid, derived=derived):
         if isinstance(report, StandardSuspicion):
             yield tick, report
 
 
-def _generalized_reports(run: Run, pid: ProcessId, derived: bool):
+def _generalized_reports(
+    run: Run, pid: ProcessId, derived: bool
+) -> Iterator[tuple[int, GeneralizedSuspicion]]:
     for tick, report in suspicion_history(run, pid, derived=derived):
         if isinstance(report, GeneralizedSuspicion):
             yield tick, report
@@ -290,7 +295,13 @@ def atd_accuracy(run: Run, *, derived: bool = False) -> PropertyVerdict:
 # ---------------------------------------------------------------------------
 
 
-def system_satisfies(system: System, checker, /, *args, **kwargs) -> PropertyVerdict:
+def system_satisfies(
+    system: System,
+    checker: Callable[..., PropertyVerdict],
+    /,
+    *args: object,
+    **kwargs: object,
+) -> PropertyVerdict:
     """A system satisfies a property iff every run does."""
     for i, run in enumerate(system):
         verdict = checker(run, *args, **kwargs)

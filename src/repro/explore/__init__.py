@@ -1,0 +1,48 @@
+"""Bounded exhaustive run exploration (model checking the contexts).
+
+``repro.explore`` closes the soundness gap of sampled ensembles: it
+enumerates *every* run of a protocol+context up to a horizon T over the
+sim's modeled nondeterminism (crash timing, message delay/reordering,
+fair-lossy drops), so the :class:`~repro.model.system.System` it builds
+is complete and the epistemic kernel's ``Knows``/``C_G`` answers over it
+are sound by construction rather than sample-dependent.
+
+Entry points:
+
+* :func:`explore` -- enumerate an :class:`repro.runtime.ExploreSpec`,
+  returning an :class:`repro.runtime.report.ExploreReport`;
+* :func:`replay` -- re-execute one branch from its
+  ``(crash_plan, trace)`` coordinates;
+* :mod:`~repro.explore.monitors` -- per-run property monitors
+  (UDC/uniformity, detector properties) that can short-circuit the
+  search;
+* :func:`~repro.explore.shrink.shrink_violation` -- delta-debugging
+  minimization of a violating run.
+"""
+
+from repro.explore.monitors import (
+    DetectorPropertyMonitor,
+    PredicateMonitor,
+    RunMonitor,
+    UniformityMonitor,
+    Violation,
+    is_quiescent,
+)
+from repro.explore.reduction import ExploreStats
+from repro.explore.scheduler import ExecutionResult, explore, replay
+from repro.explore.shrink import ShrinkResult, shrink_violation
+
+__all__ = [
+    "DetectorPropertyMonitor",
+    "ExecutionResult",
+    "ExploreStats",
+    "PredicateMonitor",
+    "RunMonitor",
+    "ShrinkResult",
+    "UniformityMonitor",
+    "Violation",
+    "explore",
+    "is_quiescent",
+    "replay",
+    "shrink_violation",
+]

@@ -1,0 +1,222 @@
+"""State-space reduction for the bounded explorer.
+
+Two run-set-preserving reductions keep the bounded search tractable:
+
+* **Fingerprint pruning** -- after each simulated tick the explorer
+  canonicalizes its full configuration (timelines, outboxes, channel
+  multiset, crash state, pending crashes/inits, fairness streaks) into a
+  hashable fingerprint.  A branch that reaches a configuration some
+  earlier branch already reached is abandoned: the suffix tree below
+  that configuration is a pure function of the configuration, so it was
+  (or will be) enumerated from the first encounter.  Soundness rests on
+  the repo-wide invariant that protocol and detector state are functions
+  of the visible configuration -- protocol state is a function of the
+  local timeline by construction (see :mod:`repro.sim.process`), so it
+  is deliberately *excluded* from the fingerprint; stochastic detectors
+  break the invariant, so fingerprinting auto-disables when a detector
+  is attached (``ExploreStats.fingerprints_active``).
+
+* **Sleep-set/commutativity POR** -- at a delivery choice point,
+  in-flight copies of the same ``(sender, message)`` pair are
+  interchangeable: consuming either appends the same ``ReceiveEvent``
+  and leaves behaviourally identical residual channels (explorer
+  envelopes differ only in bookkeeping fields).  The explorer therefore
+  branches once per *distinct* pair rather than once per copy, and
+  similarly suppresses drop/accept branches that cannot be observed
+  within the horizon (copies addressed to crashed processes, copies
+  that cannot be delivered before the horizon).  Suppressed siblings
+  are counted in ``ExploreStats.por_skipped``.
+
+Both reductions preserve the *set of runs* exactly -- the acceptance
+check in ``tests/test_explore_scheduler.py`` asserts bit-identical
+``Knows``/``C_G`` answers between a POR+fingerprint exploration and a
+reduction-free baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.model.events import Event, ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Envelope
+
+
+@dataclass
+class ExploreStats:
+    """Observability counters for one exploration.
+
+    * ``executions`` -- complete replays of the deterministic executor
+      (one per frontier entry actually expanded);
+    * ``states_expanded`` -- tick-configurations simulated across all
+      executions;
+    * ``states_pruned`` -- executions abandoned because their fresh
+      suffix reached an already-seen fingerprint;
+    * ``choice_points`` / ``branches_scheduled`` -- nondeterministic
+      decisions encountered, and the alternative branches pushed onto
+      the frontier from them;
+    * ``por_skipped`` -- alternatives suppressed by the commutativity
+      reduction (interchangeable delivery copies, unobservable drops);
+    * ``runs_enumerated`` / ``runs_unique`` -- leaves reached vs.
+      distinct runs kept after value-level deduplication;
+    * ``monitor_checks`` / ``violations`` -- property-monitor activity;
+    * ``truncated`` -- the ``max_executions`` budget stopped exploration
+      early (the resulting system is *not* complete);
+    * ``stopped_on_violation`` -- a monitor short-circuited exploration;
+    * ``fingerprints_active`` / ``por_active`` -- the reductions that
+      actually ran (fingerprinting auto-disables under stochastic
+      detectors).
+    """
+
+    executions: int = 0
+    states_expanded: int = 0
+    states_pruned: int = 0
+    choice_points: int = 0
+    branches_scheduled: int = 0
+    por_skipped: int = 0
+    runs_enumerated: int = 0
+    runs_unique: int = 0
+    monitor_checks: int = 0
+    violations: int = 0
+    max_frontier: int = 0
+    truncated: bool = False
+    stopped_on_violation: bool = False
+    fingerprints_active: bool = False
+    por_active: bool = False
+
+    @property
+    def exhaustive(self) -> bool:
+        """True iff the whole bounded space was enumerated."""
+        return not (self.truncated or self.stopped_on_violation)
+
+    def as_dict(self) -> dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def render(self) -> str:
+        """One readable line of the headline counters."""
+        reductions = []
+        if self.por_active:
+            reductions.append("por")
+        if self.fingerprints_active:
+            reductions.append("fingerprints")
+        mode = "+".join(reductions) if reductions else "none"
+        tail = ""
+        if self.truncated:
+            tail = "; TRUNCATED (budget)"
+        elif self.stopped_on_violation:
+            tail = "; stopped on violation"
+        return (
+            f"explore: {self.runs_unique} runs "
+            f"({self.runs_enumerated} leaves) from {self.executions} "
+            f"executions over {self.states_expanded} states; "
+            f"{self.choice_points} choice points, "
+            f"{self.branches_scheduled} branches, "
+            f"{self.states_pruned} pruned, {self.por_skipped} POR-skipped "
+            f"[reductions: {mode}]{tail}"
+        )
+
+
+#: One canonicalized in-flight copy: (receiver, sender, message,
+#: remaining delay clamped at zero).  Copies of the same pair that are
+#: already deliverable fingerprint identically regardless of when they
+#: were sent -- exactly the interchangeability POR exploits.
+CanonicalEnvelope = tuple[ProcessId, ProcessId, object, int]
+
+#: The full canonical configuration; used as an exact dict key, never
+#: reduced to a 64-bit hash, so a collision can only cost memory --
+#: not soundness.
+Fingerprint = tuple[object, ...]
+
+
+def canonical_channel(
+    in_flight: Mapping[ProcessId, Sequence["Envelope"]], tick: int
+) -> tuple[CanonicalEnvelope, ...]:
+    """The channel contents as a sorted multiset of canonical copies."""
+    copies: list[CanonicalEnvelope] = []
+    for receiver, envelopes in in_flight.items():
+        for env in envelopes:
+            copies.append(
+                (
+                    receiver,
+                    env.sender,
+                    env.message,
+                    max(env.deliver_at - tick, 0),
+                )
+            )
+    copies.sort(key=repr)
+    return tuple(copies)
+
+
+def state_fingerprint(
+    *,
+    tick: int,
+    processes: Sequence[ProcessId],
+    timelines: Mapping[ProcessId, Sequence[tuple[int, Event]]],
+    outboxes: Mapping[ProcessId, Sequence[Event]],
+    crashed: frozenset[ProcessId],
+    pending_crashes: tuple[tuple[int, tuple[ProcessId, ...]], ...],
+    pending_inits: Mapping[ProcessId, Sequence[tuple[int, object]]],
+    channel: tuple[CanonicalEnvelope, ...],
+    drop_streaks: tuple[tuple[object, int], ...],
+) -> Fingerprint:
+    """Canonicalize one explorer configuration.
+
+    Everything the future of an execution can depend on is included:
+    the timelines determine protocol (and deterministic detector) state,
+    the channel multiset and streaks determine delivery/drop options,
+    and the pending crash/init schedules determine the environment's
+    remaining moves.  Two executions whose fingerprints are equal have
+    identical suffix trees.
+    """
+    return (
+        tick,
+        tuple(tuple(timelines[p]) for p in processes),
+        tuple(tuple(outboxes[p]) for p in processes),
+        crashed,
+        pending_crashes,
+        tuple(tuple(pending_inits[p]) for p in processes),
+        channel,
+        drop_streaks,
+    )
+
+
+class FingerprintSet:
+    """The seen-set of canonical configurations (exact, not hashed down)."""
+
+    def __init__(self) -> None:
+        self._seen: set[Fingerprint] = set()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def check_and_add(self, fingerprint: Fingerprint) -> bool:
+        """True iff the configuration was already seen (=> prune)."""
+        if fingerprint in self._seen:
+            return True
+        self._seen.add(fingerprint)
+        return False
+
+
+def group_deliverable(
+    ready: Sequence["Envelope"],
+) -> list[list["Envelope"]]:
+    """Group deliverable envelopes into interchangeable classes.
+
+    Copies with equal ``(sender, message)`` are commuting alternatives:
+    consuming any of them appends the same event and leaves canonically
+    equal residual channels.  Groups keep the channel's oldest-first
+    order (by the first member), so choice indices are deterministic.
+    """
+    groups: dict[tuple[ProcessId, object], list["Envelope"]] = {}
+    order: list[tuple[ProcessId, object]] = []
+    for env in ready:
+        key = (env.sender, env.message)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [env]
+            order.append(key)
+        else:
+            bucket.append(env)
+    return [groups[key] for key in order]

@@ -1,0 +1,541 @@
+"""The bounded exhaustive explorer: every run of a context up to horizon T.
+
+Where :class:`repro.sim.executor.Executor` *samples* one adversary
+schedule per seed, the explorer *enumerates* them.  A run is produced by
+a deterministic replay executor that mirrors the seeded executor's tick
+semantics exactly (same per-tick event priority, same crash handling,
+same channel bookkeeping) but replaces every ``random.Random`` draw with
+an explicit **choice**:
+
+* the crash pattern is a top-level branch -- one root per plan from
+  :meth:`repro.runtime.spec.ExploreSpec.crash_plans` (A1/A5_t, bounded
+  by ``max_failures``);
+* per live process per tick, when deliverable envelopes exist, a choice
+  selects which in-flight message to consume -- or defers them all one
+  tick (this single primitive realizes message delay *and* reordering:
+  every pattern the seeded adversary's delay draws and postponements can
+  produce corresponds to some assignment of defer choices);
+* per submitted copy on a lossy channel, a drop/accept choice, clamped
+  by the R5 fairness budget (``max_consecutive_drops`` back-to-back
+  drops of a key force the next copy through -- the same budget
+  :class:`repro.sim.network.FairLossyChannel` enforces).
+
+Executions are *stateless-model-checking* style: a frontier entry is a
+``(crash_plan, choice-prefix)`` pair; replaying the prefix and then
+greedily taking option 0 (the most cooperative alternative: deliver the
+oldest message, accept the copy) yields one complete run while
+recording how many options each fresh decision had, and every untaken
+alternative becomes a new frontier entry.  Exploration is exhaustive
+when the frontier drains; :mod:`repro.explore.reduction` keeps the tree
+small without changing the run set.
+
+Scope: the explored nondeterminism is crash timing and channel
+behaviour -- the two adversary dimensions the paper's proofs quantify
+over.  Processes run at full speed (the executor's activation-skipping
+is a derived behaviour: a skipped tick is a defer plus a delayed
+protocol step), and stochastic detector noise is *not* enumerated; a
+detector attached to an ``ExploreSpec`` is polled with a fixed-seed rng,
+so it must be deterministic for completeness claims to cover it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from typing import Deque, Iterator, Sequence
+
+from repro.detectors.base import GroundTruthView, NoDetector
+from repro.explore.monitors import RunMonitor, Violation
+from repro.explore.reduction import (
+    ExploreStats,
+    FingerprintSet,
+    canonical_channel,
+    group_deliverable,
+    state_fingerprint,
+)
+from repro.model.events import (
+    ActionId,
+    CrashEvent,
+    DoEvent,
+    Event,
+    InitEvent,
+    Message,
+    ProcessId,
+    ReceiveEvent,
+    SendEvent,
+    SuspectEvent,
+)
+from repro.model.run import Run, validate_run
+from repro.runtime.report import ExploreReport
+from repro.runtime.spec import ExploreSpec
+from repro.sim.failures import CrashPlan
+from repro.sim.network import ChannelKey, Envelope
+from repro.sim.process import ProcessEnv
+
+__all__ = ["ExecutionResult", "explore", "replay"]
+
+#: A choice trace: the option index taken at each decision point, in
+#: encounter order.  The empty trace is the all-cooperative run.
+Trace = tuple[int, ...]
+
+_CACHE_DEFAULT = object()  # sentinel: "use the process-wide default cache"
+
+
+class ExecutionResult:
+    """What one deterministic bounded execution produced."""
+
+    __slots__ = ("run", "taken", "option_counts", "pruned")
+
+    def __init__(
+        self,
+        run: Run | None,
+        taken: Trace,
+        option_counts: tuple[int, ...],
+        pruned: bool,
+    ) -> None:
+        self.run = run
+        self.taken = taken
+        self.option_counts = option_counts
+        self.pruned = pruned
+
+
+class _BoundedExecution:
+    """One replay: (spec, crash plan, choice trace) -> Run, deterministically.
+
+    Mirrors :class:`repro.sim.executor.Executor` tick-for-tick with the
+    rng replaced by :meth:`_choose`.  Out-of-range prefix choices are
+    clamped (never produced by the frontier, but shrink candidates may
+    mutate a trace into a region where fewer options exist).
+    """
+
+    def __init__(
+        self,
+        spec: ExploreSpec,
+        plan: CrashPlan,
+        prefix: Trace,
+        stats: ExploreStats,
+        seen: FingerprintSet | None,
+    ) -> None:
+        self.spec = spec
+        self.plan = plan
+        self.prefix = prefix
+        self.stats = stats
+        self.seen = seen
+        self.processes = spec.processes
+        self.envs = {p: ProcessEnv(p, self.processes) for p in self.processes}
+        self.protocols = {
+            p: spec.protocol(p, self.envs[p]) for p in self.processes
+        }
+        self.detector = (spec.detector or NoDetector()).fresh()
+        self._rng = random.Random(0)  # consumed only by detector oracles
+        self._timelines: dict[ProcessId, list[tuple[int, Event]]] = {
+            p: [] for p in self.processes
+        }
+        self._crashed: set[ProcessId] = set()
+        self._actual_crash_ticks: dict[ProcessId, int] = {}
+        self.truth = GroundTruthView(
+            self.processes, plan.faulty, self._actual_crash_ticks
+        )
+        by_tick: dict[int, list[ProcessId]] = {}
+        for pid in self.processes:
+            planned = plan.crash_tick(pid)
+            if planned is not None:
+                by_tick.setdefault(max(planned, 1), []).append(pid)
+        self._crash_index = {t: tuple(pids) for t, pids in by_tick.items()}
+        self._pending_inits: dict[ProcessId, list[tuple[int, ActionId]]] = {
+            p: [] for p in self.processes
+        }
+        for tick, pid, action in sorted(spec.workload):
+            self._pending_inits[pid].append((tick, action))
+        self._in_flight: dict[ProcessId, list[Envelope]] = {}
+        self._next_uid = 0
+        self._streaks: dict[ChannelKey, int] = {}
+        self._dropped = 0
+        self._delivered = 0
+        self._taken: list[int] = []
+        self._counts: list[int] = []
+
+    # -- choice plumbing ----------------------------------------------------
+
+    def _choose(self, options: int) -> int:
+        i = len(self._taken)
+        if i < len(self.prefix):
+            pick = min(self.prefix[i], options - 1)
+        else:
+            pick = 0
+        self._taken.append(pick)
+        self._counts.append(options)
+        return pick
+
+    @property
+    def _fresh(self) -> bool:
+        """Past the replayed prefix, into never-explored territory?"""
+        return len(self._taken) > len(self.prefix)
+
+    # -- channel ------------------------------------------------------------
+
+    def _submit(
+        self, sender: ProcessId, receiver: ProcessId, message: Message, tick: int
+    ) -> None:
+        spec = self.spec
+        if receiver in self._crashed:
+            # Unobservable either way (nothing is ever delivered to a
+            # crashed process): forced drop, no branch.
+            self._dropped += 1
+            return
+        deliver_at = tick + 1
+        if spec.lossy and deliver_at <= spec.horizon:
+            key: ChannelKey = (sender, receiver, message)
+            streak = self._streaks.get(key, 0)
+            if streak >= spec.max_consecutive_drops:
+                self._streaks[key] = 0  # R5: the budget forces this copy through
+            elif self._choose(2) == 1:
+                self._streaks[key] = streak + 1
+                self._dropped += 1
+                return
+            else:
+                self._streaks[key] = 0
+        # Copies that cannot be delivered within the horizon
+        # (deliver_at > horizon) are accepted without a drop branch:
+        # dropping them is unobservable in the run prefix, and keeping
+        # them in flight lets the quiescence check see the obligation.
+        self._in_flight.setdefault(receiver, []).append(
+            Envelope(
+                sender=sender,
+                receiver=receiver,
+                message=message,
+                sent_at=tick,
+                deliver_at=deliver_at,
+                uid=self._next_uid,
+            )
+        )
+        self._next_uid += 1
+
+    def _pick_delivery(self, pid: ProcessId, tick: int) -> Envelope | None:
+        pending = self._in_flight.get(pid)
+        if not pending:
+            return None
+        ready = [e for e in pending if e.deliver_at <= tick]
+        if not ready:
+            return None
+        ready.sort(key=lambda e: (e.deliver_at, e.uid))
+        if self.spec.por:
+            groups = group_deliverable(ready)
+            if self._fresh:
+                self.stats.por_skipped += len(ready) - len(groups)
+        else:
+            groups = [[e] for e in ready]
+        pick = self._choose(len(groups) + 1)
+        if pick == len(groups):
+            return None  # defer them all one tick (delay/reorder move)
+        envelope = groups[pick][0]
+        pending.remove(envelope)
+        self._delivered += 1
+        return envelope
+
+    # -- the tick loop ------------------------------------------------------
+
+    def _due_init(self, pid: ProcessId, tick: int) -> ActionId | None:
+        queue = self._pending_inits[pid]
+        if queue and queue[0][0] <= tick:
+            return queue.pop(0)[1]
+        return None
+
+    def _step_event(self, pid: ProcessId, tick: int) -> Event | None:
+        env = self.envs[pid]
+        report = self.detector.poll(pid, tick, self.truth, self._rng)
+        if report is not None:
+            return SuspectEvent(pid, report)
+        if env.outbox:
+            return env.outbox.popleft()
+        action = self._due_init(pid, tick)
+        if action is not None:
+            return InitEvent(pid, action)
+        envelope = self._pick_delivery(pid, tick)
+        if envelope is not None:
+            return ReceiveEvent(pid, envelope.sender, envelope.message)
+        self.protocols[pid].on_tick()
+        if env.outbox:
+            return env.outbox.popleft()
+        return None
+
+    def _dispatch(self, pid: ProcessId, event: Event, tick: int) -> None:
+        protocol = self.protocols[pid]
+        if isinstance(event, SendEvent):
+            self._submit(event.sender, event.receiver, event.message, tick)
+        elif isinstance(event, ReceiveEvent):
+            protocol.on_receive(event.sender, event.message)
+        elif isinstance(event, SuspectEvent):
+            protocol.on_suspect(event.report)
+        elif isinstance(event, InitEvent):
+            protocol.on_init(event.action)
+        elif isinstance(event, DoEvent):
+            pass
+        else:  # pragma: no cover - crash events never reach here
+            raise AssertionError(f"unexpected event {event!r}")
+
+    def _fingerprint(self, tick: int) -> tuple[object, ...]:
+        pending_crashes = tuple(
+            (t, pids) for t, pids in sorted(self._crash_index.items()) if t > tick
+        )
+        return state_fingerprint(
+            tick=tick,
+            processes=self.processes,
+            timelines=self._timelines,
+            outboxes={p: tuple(self.envs[p].outbox) for p in self.processes},
+            crashed=frozenset(self._crashed),
+            pending_crashes=pending_crashes,
+            pending_inits=self._pending_inits,
+            channel=canonical_channel(self._in_flight, tick),
+            drop_streaks=tuple(
+                sorted(
+                    ((k, s) for k, s in self._streaks.items() if s),
+                    key=repr,
+                )
+            ),
+        )
+
+    def _quiescent(self, horizon: int) -> bool:
+        """Is the final cut a fixpoint (would an extension stay silent)?"""
+        live = [p for p in self.processes if p not in self._crashed]
+        return (
+            all(not self.envs[p].outbox for p in live)
+            and all(not self._in_flight.get(p) for p in live)
+            and all(
+                not queue or pid in self._crashed
+                for pid, queue in self._pending_inits.items()
+            )
+            and all(t <= horizon for t in self._crash_index)
+            and all(not self.protocols[p].wants_to_act() for p in live)
+        )
+
+    def execute(self) -> ExecutionResult:
+        spec = self.spec
+        stats = self.stats
+        horizon = spec.horizon
+        for pid in self.processes:
+            self.protocols[pid].on_start()
+        for tick in range(1, horizon + 1):
+            for pid in self._crash_index.get(tick, ()):
+                self._timelines[pid].append((tick, CrashEvent(pid)))
+                self._crashed.add(pid)
+                self._actual_crash_ticks[pid] = tick
+                self.envs[pid].outbox.clear()
+                self._in_flight.pop(pid, None)
+            for pid in self.processes:
+                if pid in self._crashed:
+                    continue
+                env = self.envs[pid]
+                env.now = tick
+                event = self._step_event(pid, tick)
+                if event is None:
+                    continue
+                self._timelines[pid].append((tick, event))
+                self._dispatch(pid, event, tick)
+            stats.states_expanded += 1
+            if self.seen is not None and tick < horizon and self._fresh:
+                if self.seen.check_and_add(self._fingerprint(tick)):
+                    stats.states_pruned += 1
+                    return ExecutionResult(
+                        None, tuple(self._taken), tuple(self._counts), True
+                    )
+        quiescent = self._quiescent(horizon)
+        run = Run(
+            self.processes,
+            self._timelines,
+            duration=horizon,
+            meta={
+                "explored": True,
+                "crash_plan": self.plan,
+                "trace": tuple(self._taken),
+                "detector": self.detector.name,
+                "quiescent": quiescent,
+                "dropped": self._dropped,
+                "delivered": self._delivered,
+            },
+        )
+        # R5's finite send threshold is only meaningful at a fixpoint: a
+        # non-quiescent prefix may have every copy legitimately in flight
+        # past the horizon.  One outbox event per tick bounds sends per
+        # target by the horizon, so horizon + 2 can never fire.
+        threshold = (
+            spec.max_consecutive_drops + 2 if quiescent else horizon + 2
+        )
+        validate_run(run, r5_send_threshold=threshold)
+        return ExecutionResult(run, tuple(self._taken), tuple(self._counts), False)
+
+
+def replay(spec: ExploreSpec, plan: CrashPlan, trace: Trace) -> Run:
+    """Re-execute one explored branch: the run is a pure function of
+    ``(spec, plan, trace)``.  Out-of-range choices clamp to the last
+    option, so any int tuple is a valid (if redundant) trace -- the
+    property :mod:`repro.explore.shrink` relies on.
+    """
+    result = _BoundedExecution(
+        spec, plan, tuple(trace), ExploreStats(), None
+    ).execute()
+    assert result.run is not None  # no fingerprint set => never pruned
+    return result.run
+
+
+def explore(
+    spec: ExploreSpec,
+    *,
+    monitors: Sequence[RunMonitor] = (),
+    stop_on_violation: bool = False,
+    cache: object = _CACHE_DEFAULT,
+) -> ExploreReport:
+    """Enumerate every run of ``spec``'s context up to its horizon.
+
+    Returns an :class:`repro.runtime.report.ExploreReport` whose
+    ``system()`` is *complete* (and says so: ``System.complete``) when
+    exploration was exhaustive -- i.e. neither truncated by
+    ``spec.max_executions`` nor short-circuited by ``stop_on_violation``.
+
+    ``monitors`` are checked against every distinct run as it is found;
+    violations carry the ``(crash_plan, trace)`` coordinates needed to
+    replay and shrink them.  Only exhaustive explorations are cached
+    (key: ``spec.digest()``), so a cache hit can never hide part of the
+    run set; monitors re-run over cached runs.
+    """
+    from repro.runtime.cache import RunCache, default_run_cache
+
+    resolved_cache: RunCache | None
+    if cache is _CACHE_DEFAULT:
+        resolved_cache = default_run_cache()
+    else:
+        resolved_cache = cache  # type: ignore[assignment]
+
+    started = time.perf_counter()
+    digest = spec.digest()
+    if resolved_cache is not None and digest is not None:
+        hit = resolved_cache.get_exploration(digest)
+        if hit is not None:
+            runs, stats = hit
+            violations = _check_monitors(
+                runs, monitors, stats, stop_on_violation=stop_on_violation
+            )
+            return ExploreReport(
+                spec=spec,
+                runs=runs,
+                stats=stats,
+                violations=tuple(violations),
+                wall_time=time.perf_counter() - started,
+                cached=True,
+                context=spec.context,
+            )
+
+    stats = ExploreStats(
+        por_active=spec.por,
+        fingerprints_active=spec.fingerprints and spec.detector is None,
+    )
+    seen = FingerprintSet() if stats.fingerprints_active else None
+    frontier: Deque[tuple[CrashPlan, Trace]] = deque(
+        (plan, ()) for plan in spec.crash_plans()
+    )
+    dfs = spec.strategy == "dfs"
+    unique: dict[Run, Run] = {}
+    violations: list[Violation] = []
+    reported: set[tuple[str, Run]] = set()
+    while frontier:
+        if (
+            spec.max_executions is not None
+            and stats.executions >= spec.max_executions
+        ):
+            stats.truncated = True
+            break
+        stats.max_frontier = max(stats.max_frontier, len(frontier))
+        plan, prefix = frontier.pop() if dfs else frontier.popleft()
+        result = _BoundedExecution(spec, plan, prefix, stats, seen).execute()
+        stats.executions += 1
+        for i in range(len(prefix), len(result.option_counts)):
+            options = result.option_counts[i]
+            stats.choice_points += 1
+            for alternative in range(1, options):
+                frontier.append((plan, result.taken[:i] + (alternative,)))
+                stats.branches_scheduled += 1
+        run = result.run
+        if run is None:
+            continue
+        stats.runs_enumerated += 1
+        stored = unique.get(run)
+        if stored is not None:
+            # Equal timelines can arise from distinguishable branches --
+            # e.g. "copy dropped" vs "copy still in flight at T".  The
+            # quiescent variant is the stronger witness (its final cut
+            # is a fixpoint, so liveness verdicts are exact): promote it
+            # to representative and let the monitors re-judge.
+            if not run.meta.get("quiescent") or stored.meta.get("quiescent"):
+                continue
+            unique[run] = run
+        else:
+            unique[run] = run
+            stats.runs_unique += 1
+        for monitor in monitors:
+            key = (monitor.name, run)
+            if key in reported:
+                continue
+            stats.monitor_checks += 1
+            verdict = monitor.check(run)
+            if not verdict:
+                reported.add(key)
+                stats.violations += 1
+                violations.append(
+                    Violation(
+                        monitor=monitor.name,
+                        verdict=verdict,
+                        run=run,
+                        crash_plan=plan,
+                        trace=result.taken,
+                    )
+                )
+                if stop_on_violation:
+                    stats.stopped_on_violation = True
+                    frontier.clear()
+                    break
+        if stats.stopped_on_violation:
+            break
+
+    runs = tuple(unique.values())
+    if (
+        resolved_cache is not None
+        and digest is not None
+        and stats.exhaustive
+        and runs
+    ):
+        resolved_cache.put_exploration(digest, runs, stats)
+    return ExploreReport(
+        spec=spec,
+        runs=runs,
+        stats=stats,
+        violations=tuple(violations),
+        wall_time=time.perf_counter() - started,
+        cached=False,
+        context=spec.context,
+    )
+
+
+def _check_monitors(
+    runs: Sequence[Run],
+    monitors: Sequence[RunMonitor],
+    stats: ExploreStats,
+    *,
+    stop_on_violation: bool,
+) -> Iterator[Violation]:
+    """Monitor a pre-enumerated (cached) run set."""
+    for run in runs:
+        for monitor in monitors:
+            stats.monitor_checks += 1
+            verdict = monitor.check(run)
+            if not verdict:
+                stats.violations += 1
+                yield Violation(
+                    monitor=monitor.name,
+                    verdict=verdict,
+                    run=run,
+                    crash_plan=run.meta.get("crash_plan", CrashPlan.none()),
+                    trace=tuple(run.meta.get("trace", ())),
+                )
+                if stop_on_violation:
+                    return

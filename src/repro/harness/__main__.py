@@ -3,10 +3,16 @@
 Usage::
 
     python -m repro.harness [--list] [--backend serial|process[:N]] [IDS...]
+    python -m repro.harness explore [--n N] [--t T] [--horizon T] [...]
 
 With no ids, every registered experiment runs.  ``--backend process``
 executes the ensemble sweeps inside each experiment on a worker-process
 pool (results are identical to serial; see repro.runtime).
+
+The ``explore`` subcommand runs the bounded exhaustive checker
+(:mod:`repro.explore`) instead of a seeded ensemble: it enumerates every
+run of the chosen context up to the horizon, reports monitor violations,
+and (with ``--shrink``) minimizes the first one to a replayable witness.
 """
 
 from __future__ import annotations
@@ -18,10 +24,112 @@ from repro.harness import registry
 from repro.harness.results import render_result
 from repro.harness.table1 import build_table1, render_table1
 
+_EXPLORE_USAGE = """\
+usage: python -m repro.harness explore [options]
+
+  --protocol nudc|reliable   joint protocol to check         (default nudc)
+  --n N                      number of processes             (default 3)
+  --t T                      max crash failures              (default 1)
+  --horizon T                exploration bound in ticks      (default 4)
+  --crash-ticks A,B,...      candidate crash ticks           (default 1)
+  --init PROC:TICK           single-action workload          (default p1:1)
+  --lossy                    fair-lossy channel (else reliable)
+  --drop-budget K            max consecutive drops per channel (default 2)
+  --monitor udc|nudc         uniformity monitor to attach    (default udc)
+  --no-por                   disable partial-order reduction
+  --no-fingerprints          disable state-fingerprint pruning
+  --strategy dfs|bfs         frontier discipline             (default dfs)
+  --stop-on-violation        halt at the first violation
+  --shrink                   minimize the first violation
+"""
+
+
+def _explore_main(argv: list[str]) -> int:
+    """``python -m repro.harness explore ...``: exhaustive bounded checking."""
+    from repro.core.protocols import NUDCProcess, ReliableUDCProcess
+    from repro.explore import UniformityMonitor, explore, shrink_violation
+    from repro.model.context import make_process_ids
+    from repro.runtime import ExploreSpec
+    from repro.sim.process import uniform_protocol
+    from repro.workloads.generators import single_action
+
+    opts = {
+        "--protocol": "nudc",
+        "--n": "3",
+        "--t": "1",
+        "--horizon": "4",
+        "--crash-ticks": "1",
+        "--init": "p1:1",
+        "--drop-budget": "2",
+        "--monitor": "udc",
+        "--strategy": "dfs",
+    }
+    flags = {"--lossy", "--no-por", "--no-fingerprints", "--stop-on-violation",
+             "--shrink", "--help", "-h"}
+    given: set[str] = set()
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg in flags:
+            given.add(arg)
+        elif arg in opts:
+            if not args:
+                print(f"{arg} needs a value\n{_EXPLORE_USAGE}")
+                return 2
+            opts[arg] = args.pop(0)
+        else:
+            print(f"unknown explore option {arg!r}\n{_EXPLORE_USAGE}")
+            return 2
+    if "--help" in given or "-h" in given:
+        print(_EXPLORE_USAGE)
+        return 0
+
+    protocols = {"nudc": NUDCProcess, "reliable": ReliableUDCProcess}
+    if opts["--protocol"] not in protocols:
+        print(f"unknown protocol {opts['--protocol']!r} (nudc | reliable)")
+        return 2
+    init_proc, _, init_tick = opts["--init"].partition(":")
+    try:
+        spec = ExploreSpec(
+            processes=make_process_ids(int(opts["--n"])),
+            protocol=uniform_protocol(protocols[opts["--protocol"]]),
+            horizon=int(opts["--horizon"]),
+            max_failures=int(opts["--t"]),
+            crash_ticks=tuple(
+                int(part) for part in opts["--crash-ticks"].split(",") if part
+            ),
+            workload=single_action(init_proc, tick=int(init_tick or "1")),
+            lossy="--lossy" in given,
+            max_consecutive_drops=int(opts["--drop-budget"]),
+            por="--no-por" not in given,
+            fingerprints="--no-fingerprints" not in given,
+            strategy=opts["--strategy"],
+        )
+    except ValueError as exc:
+        print(exc)
+        return 2
+    monitor = UniformityMonitor(uniform=opts["--monitor"] == "udc")
+    report = explore(
+        spec,
+        monitors=[monitor],
+        stop_on_violation="--stop-on-violation" in given,
+    )
+    print(report.summary())
+    if report.violations and "--shrink" in given:
+        shrunk = shrink_violation(spec, report.violations[0], monitor=monitor)
+        print(
+            f"    shrunk witness: crashes={shrunk.crashes} "
+            f"trace={list(shrunk.trace)} "
+            f"({shrunk.attempts} attempts, {shrunk.reductions} reductions)"
+        )
+    return 1 if report.violations else 0
+
 
 def main(argv: list[str]) -> int:
     """Run the requested experiments (all by default) and print results."""
     args = list(argv)
+    if args and args[0] == "explore":
+        return _explore_main(args[1:])
     if "--list" in args:
         print(registry.describe())
         return 0

@@ -112,6 +112,7 @@ class GroupChecker:
         group = list(group)
         if not group:
             raise ValueError("group must be non-empty")
+        self.system.note_knowledge_query()
         candidates = self.system.indistinguishable_points(group[0], point)
         for candidate in candidates:
             if all(
@@ -133,6 +134,7 @@ class GroupChecker:
         E_G step until stable.
         """
         system = self.system
+        system.note_knowledge_query()
         members = [p for p in system.processes if p in group]
         class_bits = [system.class_bitsets(p) for p in members]
         current = self._formula_bits(formula)

@@ -198,6 +198,7 @@ class ModelChecker:
         if isinstance(formula, Knows):
             # Class-based: the memo layer above already keys this node on
             # p's local history, so this body runs once per ~_p class.
+            self.system.note_knowledge_query()
             cls = self.system.class_of(formula.process, point)
             if cls is None:
                 return True  # foreign history: vacuously true (empty class)

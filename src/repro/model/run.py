@@ -106,7 +106,9 @@ class Run:
     def __hash__(self) -> int:
         return self._hash
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> tuple[type, tuple[object, ...]]:
         # Runs cross process boundaries (repro.runtime's pool backend
         # returns them from workers); rebuild from the constructor args
         # rather than shipping the derived prefix-history index.

@@ -158,6 +158,12 @@ def _encode_meta(meta: dict) -> dict:
             out[key] = value
         elif isinstance(value, CrashPlan):
             out[key] = {"__t": "crash_plan", "crashes": [list(c) for c in value.crashes]}
+        elif isinstance(value, tuple) and all(
+            isinstance(item, int) for item in value
+        ):
+            # Explorer choice traces: run.meta["trace"] must survive the
+            # round-trip for cached violations to stay replayable.
+            out[key] = {"__t": "int_tuple", "items": list(value)}
     return out
 
 
@@ -169,6 +175,8 @@ def _decode_meta(meta: dict) -> dict:
     for key, value in meta.items():
         if isinstance(value, dict) and value.get("__t") == "crash_plan":
             out[key] = CrashPlan(tuple((p, t) for p, t in value["crashes"]))
+        elif isinstance(value, dict) and value.get("__t") == "int_tuple":
+            out[key] = tuple(int(item) for item in value["items"])
         else:
             out[key] = value
     return out

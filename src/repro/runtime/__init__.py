@@ -33,13 +33,15 @@ from repro.runtime.backends import (
     set_default_backend,
 )
 from repro.runtime.cache import RunCache, default_run_cache, set_default_run_cache
-from repro.runtime.report import EnsembleReport, RunMetrics
-from repro.runtime.spec import EnsembleSpec, RunSpec, spec_digest
+from repro.runtime.report import EnsembleReport, ExploreReport, RunMetrics
+from repro.runtime.spec import EnsembleSpec, ExploreSpec, RunSpec, spec_digest
 
 __all__ = [
     "EnsembleReport",
     "EnsembleSpec",
     "ExecutionBackend",
+    "ExploreReport",
+    "ExploreSpec",
     "ProcessPoolBackend",
     "RunCache",
     "RunMetrics",

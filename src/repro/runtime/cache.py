@@ -22,17 +22,33 @@ otherwise; disable with ``run_ensemble(..., cache=None)``.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.model.run import Run
 from repro.runtime.spec import RunSpec, spec_digest
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.explore.reduction import ExploreStats
+
 
 class RunCache:
-    """Content-addressed run store: in-memory, optionally disk-backed."""
+    """Content-addressed run store: in-memory, optionally disk-backed.
+
+    Holds two kinds of entries under one namespace: single runs keyed by
+    :func:`spec_digest` (``run_ensemble``), and whole *exploration
+    groups* -- the complete run set of an
+    :class:`~repro.runtime.spec.ExploreSpec` plus its
+    :class:`~repro.explore.reduction.ExploreStats` -- keyed by
+    ``ExploreSpec.digest()``.  Only exhaustive explorations are ever
+    stored, so a group hit can never silently hide part of a run set.
+    """
 
     def __init__(self, directory: str | Path | None = None) -> None:
         self._memory: dict[str, Run] = {}
+        self._explorations: dict[str, tuple[tuple[Run, ...], "ExploreStats"]] = {}
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -81,10 +97,74 @@ class RunCache:
 
             save_run(run, self._path(digest))
 
+    # -- exploration groups -------------------------------------------------
+
+    def _explore_path(self, digest: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"explore-{digest}.json"
+
+    def get_exploration(
+        self, digest: str
+    ) -> tuple[tuple[Run, ...], "ExploreStats"] | None:
+        """The cached (runs, stats) for an ExploreSpec digest, or None.
+
+        The stats come back as a fresh copy, so a caller's monitor
+        counters never leak into the cached baseline.
+        """
+        entry = self._explorations.get(digest)
+        if entry is None and self.directory is not None:
+            path = self._explore_path(digest)
+            if path.exists():
+                entry = _load_exploration(path)
+                self._explorations[digest] = entry
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        runs, stats = entry
+        return runs, dataclasses.replace(stats)
+
+    def put_exploration(
+        self, digest: str, runs: tuple[Run, ...], stats: "ExploreStats"
+    ) -> None:
+        """Store one exhaustive exploration's complete run set."""
+        entry = (tuple(runs), dataclasses.replace(stats))
+        self._explorations[digest] = entry
+        if self.directory is not None:
+            _save_exploration(entry, self._explore_path(digest))
+
     def clear(self) -> None:
         """Forget every in-memory entry (disk files are left alone)."""
         self._memory.clear()
+        self._explorations.clear()
         self.hits = self.misses = self.skips = 0
+
+
+def _save_exploration(
+    entry: tuple[tuple[Run, ...], "ExploreStats"], path: Path
+) -> None:
+    from repro.model.serialize import run_to_dict
+
+    runs, stats = entry
+    payload = {
+        "format": "repro-exploration-v1",
+        "stats": stats.as_dict(),
+        "runs": [run_to_dict(run) for run in runs],
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _load_exploration(path: Path) -> tuple[tuple[Run, ...], "ExploreStats"]:
+    from repro.explore.reduction import ExploreStats
+    from repro.model.serialize import run_from_dict
+
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    known = {f.name for f in dataclasses.fields(ExploreStats)}
+    stats = ExploreStats(
+        **{k: v for k, v in payload.get("stats", {}).items() if k in known}
+    )
+    runs = tuple(run_from_dict(entry) for entry in payload.get("runs", ()))
+    return runs, stats
 
 
 _default_cache: RunCache | None = None

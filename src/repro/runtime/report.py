@@ -17,8 +17,10 @@ from repro.model.run import Run
 from repro.model.system import KernelStats, System
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.explore.monitors import Violation
+    from repro.explore.reduction import ExploreStats
     from repro.model.context import Context
-    from repro.runtime.spec import RunSpec
+    from repro.runtime.spec import ExploreSpec, RunSpec
 
 
 @dataclass(frozen=True)
@@ -127,6 +129,83 @@ class EnsembleReport:
                 if self.wall_time > 0
                 else f"    per-run wall time sum {self.run_wall_time:.3f}s"
             )
+        stats = self.kernel_stats
+        if stats is not None and stats.index_builds + stats.index_derivations:
+            lines.append(f"    {stats.render()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExploreReport:
+    """The outcome of one :func:`repro.explore.explore` call.
+
+    The exhaustive sibling of :class:`EnsembleReport`: ``runs`` is the
+    *complete* horizon-bounded run set of the spec's context (when
+    ``stats.exhaustive``), ``stats`` carries the
+    :class:`~repro.explore.reduction.ExploreStats` counters, and
+    ``violations`` whatever the attached monitors flagged.
+    """
+
+    spec: "ExploreSpec"
+    runs: tuple[Run, ...]
+    stats: "ExploreStats"
+    violations: tuple["Violation", ...] = ()
+    wall_time: float = 0.0
+    cached: bool = False
+    context: "Context | None" = None
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    @property
+    def complete(self) -> bool:
+        """Did exploration cover the whole bounded space?"""
+        return self.stats.exhaustive
+
+    def system(self) -> System:
+        """The explored runs as a System.
+
+        Memoized like :meth:`EnsembleReport.system`; the system carries
+        ``complete=True`` exactly when exploration was exhaustive, which
+        is what silences the kernel's
+        :class:`~repro.model.system.IncompleteSystemWarning`.
+        """
+        if not self.runs:
+            raise ValueError("exploration produced no runs")
+        cached = getattr(self, "_system", None)
+        if cached is None:
+            cached = System(
+                self.runs, context=self.context, complete=self.complete
+            )
+            object.__setattr__(self, "_system", cached)
+        return cached
+
+    @property
+    def kernel_stats(self) -> "KernelStats | None":
+        """Kernel counters of the memoized system (None before use)."""
+        cached = getattr(self, "_system", None)
+        return cached.stats if cached is not None else None
+
+    def summary(self) -> str:
+        """One readable paragraph: exploration, violations, kernel."""
+        spec = self.spec
+        source = "cache" if self.cached else "search"
+        lines = [
+            f"explored n={len(spec.processes)} t={spec.max_failures} "
+            f"T={spec.horizon} ({'lossy' if spec.lossy else 'reliable'} "
+            f"channel) via {source} in {self.wall_time:.3f}s -> "
+            f"{len(self.runs)} runs "
+            f"[{'complete' if self.complete else 'INCOMPLETE'}]",
+            f"    {self.stats.render()}",
+        ]
+        if self.violations:
+            lines.append(f"    violations: {len(self.violations)}")
+            for violation in self.violations[:3]:
+                lines.append(f"      {violation.describe()}")
+            if len(self.violations) > 3:
+                lines.append(
+                    f"      ... and {len(self.violations) - 3} more"
+                )
         stats = self.kernel_stats
         if stats is not None and stats.index_builds + stats.index_derivations:
             lines.append(f"    {stats.render()}")

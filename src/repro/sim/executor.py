@@ -48,7 +48,7 @@ from repro.model.events import (
 )
 from repro.model.run import Run, validate_run
 from repro.sim.failures import CrashPlan
-from repro.sim.network import ChannelConfig, make_channel
+from repro.sim.network import ChannelConfig, Envelope, make_channel
 from repro.sim.process import ProcessEnv, ProtocolProcess
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -177,7 +177,7 @@ class Executor:
             return queue.pop(0)[1]
         return None
 
-    def _pick_delivery(self, pid: ProcessId, tick: int):
+    def _pick_delivery(self, pid: ProcessId, tick: int) -> Envelope | None:
         ready = self.channel.deliverable(pid, tick)
         if not ready:
             return None

@@ -128,7 +128,9 @@ class NetworkChannel(ABC):
 class ReliableChannel(NetworkChannel):
     """Never loses a message (the context of Proposition 2.4)."""
 
-    def _should_drop(self, sender, receiver, message) -> bool:
+    def _should_drop(
+        self, sender: ProcessId, receiver: ProcessId, message: Message
+    ) -> bool:
         return False
 
 
@@ -199,7 +201,13 @@ class FairLossyChannel(NetworkChannel):
     def max_consecutive_drops(self) -> int:
         return self._budget
 
-    def submit(self, sender, receiver, message, tick):
+    def submit(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        message: Message,
+        tick: int,
+    ) -> None:
         self._now = tick
         super().submit(sender, receiver, message, tick)
 
@@ -208,7 +216,9 @@ class FairLossyChannel(NetworkChannel):
             p.severs(sender, receiver, self._now) for p in self._partitions
         )
 
-    def _should_drop(self, sender, receiver, message) -> bool:
+    def _should_drop(
+        self, sender: ProcessId, receiver: ProcessId, message: Message
+    ) -> bool:
         if self._partitioned(sender, receiver):
             return True  # outside the fairness budget; partitions are finite
         key = (sender, receiver, message)
@@ -243,7 +253,9 @@ class UnfairChannel(NetworkChannel):
         super().__init__(rng, min_delay=min_delay, max_delay=max_delay)
         self._blackhole = blackhole
 
-    def _should_drop(self, sender, receiver, message) -> bool:
+    def _should_drop(
+        self, sender: ProcessId, receiver: ProcessId, message: Message
+    ) -> bool:
         return self._blackhole(sender, receiver, message)
 
 

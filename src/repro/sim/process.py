@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.model.events import (
     ActionId,
     DoEvent,
+    Event,
     Message,
     ProcessId,
     SendEvent,
@@ -45,7 +46,7 @@ class ProcessEnv:
     def __init__(self, pid: ProcessId, processes: tuple[ProcessId, ...]) -> None:
         self.pid = pid
         self.processes = processes
-        self.outbox: deque = deque()
+        self.outbox: deque[Event] = deque()
         self.now: int = 0
         self._performed: set[ActionId] = set()
 
@@ -147,6 +148,6 @@ class UniformProtocol:
         return self.cls(pid, env, **dict(self.kwargs))
 
 
-def uniform_protocol(cls, /, **kwargs):
+def uniform_protocol(cls: type, /, **kwargs: object) -> UniformProtocol:
     """A joint-protocol factory where every process runs ``cls(pid, env, **kwargs)``."""
     return UniformProtocol(cls, tuple(sorted(kwargs.items())))

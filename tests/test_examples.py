@@ -62,6 +62,16 @@ def test_failure_detector_zoo():
             assert "FAILS" in line
 
 
+def test_exhaustive_udc_check():
+    out = run_example("exhaustive_udc_check.py")
+    assert "50 runs [complete]" in out
+    assert "UDC violations found: 2" in out
+    assert "nUDC violations found: 0" in out
+    assert "minimal witness: crashes={'p1': 5} trace=(1, 1)" in out
+    assert "kernel input: 50 runs, complete=True" in out
+    assert "no survivor ever knows the crash: True" in out
+
+
 def test_archive_and_report():
     out = run_example("archive_and_report.py")
     assert "reloaded: runs identical" in out

@@ -5,10 +5,24 @@ Every knowledge primitive and both group-knowledge fixpoints must agree
 point-for-point with the retained naive implementation; this is what
 pins the fast path's semantics while the representation underneath it
 changes.
+
+The explorer classes at the bottom tie :mod:`repro.explore` into the
+same contract: the exhaustively enumerated run set must contain every
+run the seeded ensemble samples (truncated to the horizon), and the
+kernel must agree with the naive reference on explorer-built systems.
 """
 
 import pytest
 
+from repro import (
+    EnsembleSpec,
+    ExploreSpec,
+    explore,
+    make_process_ids,
+    run_ensemble,
+    uniform_protocol,
+)
+from repro.core.protocols import NUDCProcess
 from repro.knowledge import Crashed, GroupChecker, Knows, ModelChecker, Not
 from repro.knowledge.reference import (
     naive_common_knowledge_points,
@@ -20,6 +34,8 @@ from repro.knowledge.reference import (
     naive_max_e_depth,
 )
 from repro.model.synthetic import synthetic_system
+from repro.sim.failures import all_crash_plans
+from repro.workloads.generators import single_action
 
 CASES = [
     # (n processes, runs, seed, duration)
@@ -112,6 +128,101 @@ def test_common_knowledge_points_match(system):
     ]
     for phi in (Crashed(victim), Not(Crashed(victim))):
         for group in groups:
+            fast = group_checker.common_knowledge_points(group, phi)
+            naive = naive_common_knowledge_points(mc, group, phi)
+            assert fast == naive
+
+
+def _canonical(run, horizon):
+    """A run's observable content up to the horizon, as a value."""
+    return tuple(
+        (p, tuple((t, e) for t, e in run.timeline(p) if t <= horizon))
+        for p in sorted(run.processes)
+    )
+
+
+class TestExplorerSupersetOfEnsemble:
+    """The enumerated run set contains every sampled run (prefix-wise).
+
+    The seeded executor's adversary draws (delays, postponements,
+    within-tick shuffles) are all instances of the explorer's defer
+    choices, so for matched crash plans every ensemble run truncated to
+    the horizon must appear among the explorer's runs.  Activation
+    skipping is outside the explorer's model, so the ensemble runs with
+    the default ``activation_prob=1`` and no detector.
+    """
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_superset(self, n):
+        procs = make_process_ids(n)
+        horizon = 4
+        plans = tuple(all_crash_plans(procs, max_failures=1, crash_tick=2))
+        sampled = run_ensemble(
+            EnsembleSpec(
+                processes=procs,
+                protocol=uniform_protocol(NUDCProcess),
+                crash_plans=plans,
+                workload=single_action("p1", tick=1),
+                seeds=tuple(range(10)),
+            ),
+            cache=None,
+        ).runs
+        explored = explore(
+            ExploreSpec(
+                processes=procs,
+                protocol=uniform_protocol(NUDCProcess),
+                horizon=horizon,
+                max_failures=1,
+                crash_ticks=(2,),
+                workload=single_action("p1", tick=1),
+            ),
+            cache=None,
+        ).runs
+        explored_set = {_canonical(r, horizon) for r in explored}
+        for run in sampled:
+            assert _canonical(run, horizon) in explored_set
+
+
+class TestExplorerSystemMatchesNaiveKernel:
+    """The fast kernel and the naive reference agree on explorer systems."""
+
+    @pytest.fixture(scope="class", params=["reliable", "lossy"])
+    def explorer_system(self, request):
+        spec = ExploreSpec(
+            processes=make_process_ids(3),
+            protocol=uniform_protocol(NUDCProcess),
+            horizon=4,
+            max_failures=1,
+            crash_ticks=(1, 3),
+            workload=single_action("p1", tick=1),
+            lossy=request.param == "lossy",
+            max_consecutive_drops=1,
+        )
+        return explore(spec, cache=None).system()
+
+    def test_knows_crashed_matches(self, explorer_system):
+        system = explorer_system
+        for p in system.processes:
+            for pt in system.points():
+                for q in system.processes:
+                    assert system.knows_crashed(p, pt, q) == naive_knows_crashed(
+                        system, p, pt, q
+                    )
+
+    def test_generic_knows_matches(self, explorer_system):
+        system = explorer_system
+        predicate = lambda pt: pt.run.crashed_by("p1", pt.time)  # noqa: E731
+        for p in system.processes:
+            for pt in system.points():
+                assert system.knows(p, pt, predicate) == naive_knows(
+                    system, p, pt, predicate
+                )
+
+    def test_common_knowledge_points_match(self, explorer_system):
+        mc = ModelChecker(explorer_system)
+        group_checker = GroupChecker(mc)
+        group = tuple(explorer_system.processes)
+        for phi in (Crashed("p1"), Not(Crashed("p1"))):
             fast = group_checker.common_knowledge_points(group, phi)
             naive = naive_common_knowledge_points(mc, group, phi)
             assert fast == naive
