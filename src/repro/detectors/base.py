@@ -48,6 +48,10 @@ class GroundTruthView:
             p for p, t in self._crash_ticks.items() if t <= tick
         )
 
+    def live_by(self, tick: int) -> frozenset[ProcessId]:
+        """Processes with no crash event at or before ``tick``."""
+        return frozenset(self.processes) - self.crashed_by(tick)
+
     def planned_correct(self) -> frozenset[ProcessId]:
         """Proc - planned_faulty: the processes correct in this run."""
         return frozenset(self.processes) - self.planned_faulty

@@ -26,6 +26,7 @@ from repro.explore.monitors import (
     RunMonitor,
     UniformityMonitor,
     Violation,
+    detector_monitor_suite,
     is_quiescent,
 )
 from repro.explore.reduction import ExploreStats
@@ -41,6 +42,7 @@ __all__ = [
     "ShrinkResult",
     "UniformityMonitor",
     "Violation",
+    "detector_monitor_suite",
     "explore",
     "is_quiescent",
     "replay",

@@ -35,6 +35,7 @@ __all__ = [
     "RunMonitor",
     "UniformityMonitor",
     "Violation",
+    "detector_monitor_suite",
     "is_quiescent",
 ]
 
@@ -137,6 +138,34 @@ class DetectorPropertyMonitor:
         if not self.safety and not is_quiescent(run):
             return PropertyVerdict.ok()
         return self.checker(run, **dict(self.kwargs))
+
+
+def detector_monitor_suite(
+    *, derived: bool = False, weak: bool = False
+) -> tuple[DetectorPropertyMonitor, ...]:
+    """The standard monitor battery for a detector's property class.
+
+    Accuracy is a safety clause (exact on any finite prefix, so checked
+    even on non-quiescent runs); completeness is liveness (judged only
+    at certified-quiescent final cuts).  ``weak=True`` selects the weak
+    variants of both.  This is what the negative-path fault-injection
+    tests attach under :func:`repro.explore.explore` to prove that
+    detector lies and omissions are actually caught.
+    """
+    from repro.detectors.properties import (
+        strong_accuracy,
+        strong_completeness,
+        weak_accuracy,
+        weak_completeness,
+    )
+
+    accuracy = weak_accuracy if weak else strong_accuracy
+    completeness = weak_completeness if weak else strong_completeness
+    kwargs = (("derived", derived),) if derived else ()
+    return (
+        DetectorPropertyMonitor(accuracy, safety=True, kwargs=kwargs),
+        DetectorPropertyMonitor(completeness, kwargs=kwargs),
+    )
 
 
 @dataclass(frozen=True)

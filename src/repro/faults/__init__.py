@@ -1,0 +1,54 @@
+"""Deterministic fault injection, inside and outside the simulated world.
+
+Two layers, one package:
+
+* **Model-level faults** (:class:`FaultPlan` riding inside
+  ``ExecutionConfig.fault_plan``): message duplication / corruption /
+  extra delay / unfair drops, detector omissions and lies, per-process
+  stalls.  Seeded and replayable -- the same plan against the same spec
+  injects byte-identical faults -- and transparent at zero: an empty
+  plan leaves runs bit-identical to the un-instrumented executor.  These
+  exist to *negatively* test the paper's property checkers and protocol
+  claims: a detector wrapped in :class:`FaultyDetectorOracle` with
+  ``suppress`` violates completeness on purpose, and the checkers in
+  :mod:`repro.detectors.properties` must say so.
+
+* **Infrastructure faults** (:class:`InfraFaultPlan`, installed
+  process-wide): worker death, hung runs, cache corruption -- chaos for
+  the hardened runtime (deadlines, retries with backoff, cache
+  quarantine, degraded :class:`~repro.runtime.report.EnsembleReport`) to
+  survive.  Invisible to spec digests by design.
+
+See DESIGN.md §10 for the line between the paper's fault *model* and
+this package's fault *injection*.
+"""
+
+from repro.faults.channel import FaultyChannel
+from repro.faults.detector import FaultyDetectorOracle
+from repro.faults.infra import (
+    InfraFaultPlan,
+    active_infra_faults,
+    corrupt_cache_entry,
+    install_infra_faults,
+    use_infra_faults,
+)
+from repro.faults.plan import (
+    ChannelFaults,
+    DetectorFaults,
+    FaultInjector,
+    FaultPlan,
+)
+
+__all__ = [
+    "ChannelFaults",
+    "DetectorFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyChannel",
+    "FaultyDetectorOracle",
+    "InfraFaultPlan",
+    "active_infra_faults",
+    "corrupt_cache_entry",
+    "install_infra_faults",
+    "use_infra_faults",
+]

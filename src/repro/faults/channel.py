@@ -1,0 +1,84 @@
+"""A fault-injecting wrapper around any :class:`NetworkChannel`.
+
+:class:`FaultyChannel` sits between the executor and the real channel.
+Every submitted copy first passes the injector's gauntlet -- an extra
+drop (outside the R5 fairness budget), a kind-corruption, an extra
+delivery delay past the channel's bound, a duplicate copy -- and only
+then reaches the wrapped channel, whose own drop/delay semantics are
+untouched.  Delivery-side methods delegate verbatim, so the executor
+cannot tell the difference structurally; runs produced under an active
+channel-fault plan are *not* validated against R3/R5 (a duplicate has no
+matching second send, an extra drop can exceed the fairness budget) --
+the executor skips :func:`repro.model.run.validate_run` for them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.faults.plan import FaultInjector
+from repro.model.events import Message, ProcessId
+from repro.sim.network import Envelope, NetworkChannel
+
+__all__ = ["FaultyChannel"]
+
+
+class FaultyChannel:
+    """Delegating channel wrapper; injection decisions come from the injector.
+
+    Not a :class:`NetworkChannel` subclass (it has no rng or delay state
+    of its own) but a structural stand-in: it implements the full
+    executor-facing channel API.
+    """
+
+    def __init__(self, inner: NetworkChannel, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+
+    # -- submission: the injection point ------------------------------------
+
+    def submit(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        message: Message,
+        tick: int,
+    ) -> bool:
+        injector = self.injector
+        if injector.drop():
+            # Lost outside the fairness budget; still counts as dropped
+            # so run.meta message accounting stays conserved.
+            self.inner.dropped_count += 1
+            return False
+        message = injector.corrupt(message)
+        accepted = self.inner.submit(sender, receiver, message, tick)
+        if not accepted:
+            return False
+        extra = injector.extra_delay()
+        if extra:
+            self.inner.delay_last(receiver, extra)
+        if injector.duplicate():
+            self.inner.duplicate_last(receiver)
+        return True
+
+    # -- pure delegation -----------------------------------------------------
+
+    def deliverable(self, receiver: ProcessId, tick: int) -> list[Envelope]:
+        return self.inner.deliverable(receiver, tick)
+
+    def consume(self, envelope: Envelope) -> None:
+        self.inner.consume(envelope)
+
+    def discard_for(self, receiver: ProcessId) -> None:
+        self.inner.discard_for(receiver)
+
+    def in_flight_to(self, receivers: Iterable[ProcessId]) -> int:
+        return self.inner.in_flight_to(receivers)
+
+    @property
+    def dropped_count(self) -> int:
+        return self.inner.dropped_count
+
+    @property
+    def delivered_count(self) -> int:
+        return self.inner.delivered_count

@@ -1,0 +1,125 @@
+"""A lying/omitting wrapper around any :class:`DetectorOracle`.
+
+The paper's detector hierarchy is defined by which completeness and
+accuracy properties hold; :class:`FaultyDetectorOracle` exists to make
+them *fail on purpose*.  Wrapping a base oracle with
+:class:`~repro.faults.plan.DetectorFaults` produces targeted violations:
+
+* ``suppress=("p2",)`` erases ``p2`` from every standard report -- if
+  ``p2`` crashes, no process ever suspects it, violating (strong and
+  weak, permanent and impermanent) completeness;
+* ``falsely_suspect=("p1",)`` injects ``p1`` into every standard report
+  -- if ``p1`` is live at report time, strong accuracy is violated;
+* ``omission_prob`` swallows whole reports; ``lie_prob`` (gated on
+  ``fabricate_interval``) fabricates reports when the base oracle is
+  silent.
+
+All randomness comes from a throwaway ``random.Random`` seeded by the
+stable string ``"{seed}:{pid}:{tick}"`` -- never from the executor's
+adversary rng (whose draw sequence must stay untouched) -- so the same
+faults replay bit-identically across processes *and* inside the bounded
+explorer, where the oracle is polled with a fixed-seed rng.  A wrapper
+whose fault config is inactive returns the base oracle's reports
+unchanged.
+
+Generalized ``(S, k)`` reports pass through untouched: the fault model
+here targets the standard hierarchy of Section 2.2.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.detectors.base import DetectorOracle, GroundTruthView
+from repro.faults.plan import DetectorFaults, FaultInjector
+from repro.model.events import ProcessId, StandardSuspicion, Suspicion
+
+__all__ = ["FaultyDetectorOracle"]
+
+
+class FaultyDetectorOracle(DetectorOracle):
+    """Wrap ``base`` and distort its standard reports per ``faults``."""
+
+    def __init__(
+        self,
+        base: DetectorOracle,
+        faults: DetectorFaults,
+        *,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        self.base = base
+        self.faults = faults
+        self.injector = injector
+        self.name = f"faulty({base.name})"
+
+    def _rng_at(self, pid: ProcessId, tick: int) -> random.Random:
+        return random.Random(
+            f"repro-detector-faults:{self.faults.seed}:{pid}:{tick}"
+        )
+
+    def _note(self, key: str) -> None:
+        if self.injector is not None:
+            self.injector.note(key)
+
+    def poll(
+        self,
+        pid: ProcessId,
+        tick: int,
+        truth: GroundTruthView,
+        rng: random.Random,
+    ) -> Suspicion | None:
+        report = self.base.poll(pid, tick, truth, rng)
+        faults = self.faults
+        if not faults.active:
+            return report
+        local = self._rng_at(pid, tick)
+
+        if isinstance(report, StandardSuspicion):
+            if faults.omission_prob > 0 and local.random() < faults.omission_prob:
+                self._note("detector_omissions")
+                return None
+            return self._distort(pid, report)
+
+        if report is None and self._fabrication_due(tick):
+            if local.random() < faults.lie_prob:
+                self._note("detector_fabrications")
+                return self._fabricated(pid, tick, truth)
+
+        # Generalized reports (and silence) pass through.
+        return report
+
+    def _distort(self, pid: ProcessId, report: StandardSuspicion) -> StandardSuspicion:
+        suspects = set(report.suspects)
+        before = frozenset(suspects)
+        suspects -= set(self.faults.suppress)
+        suspects |= set(self.faults.falsely_suspect)
+        suspects.discard(pid)  # a detector module never suspects its own host
+        after = frozenset(suspects)
+        if after != before:
+            self._note("detector_distortions")
+        return StandardSuspicion(after)
+
+    def _fabrication_due(self, tick: int) -> bool:
+        faults = self.faults
+        return (
+            faults.lie_prob > 0
+            and faults.fabricate_interval > 0
+            and tick % faults.fabricate_interval == 0
+        )
+
+    def _fabricated(
+        self, pid: ProcessId, tick: int, truth: GroundTruthView
+    ) -> StandardSuspicion:
+        targets = set(self.faults.falsely_suspect)
+        targets.discard(pid)
+        if not targets:
+            peers = sorted(truth.live_by(tick) - {pid}) or sorted(
+                set(truth.processes) - {pid}
+            )
+            targets = set(peers[:1])
+        return StandardSuspicion(frozenset(targets))
+
+    def fresh(self) -> "FaultyDetectorOracle":
+        return FaultyDetectorOracle(
+            self.base.fresh(), self.faults, injector=self.injector
+        )

@@ -1,0 +1,250 @@
+"""Seeded, replayable fault plans: injecting failures *beyond* the model.
+
+The paper's contexts already contain adversity -- crashes (A1/A5_t),
+fair-lossy channels (R5), detectors of bounded accuracy -- and the
+executor samples it through one seeded adversary.  A :class:`FaultPlan`
+describes failures *outside* that model: message duplication, payload
+corruption, delivery past the channel's delay bound, drops past the R5
+fairness budget, detector omissions and lies, and per-process stalls.
+
+Two invariants make the plans usable as infrastructure:
+
+* **Replayability.**  All randomized decisions are drawn from a
+  dedicated :class:`random.Random` seeded by ``(plan.seed, run seed)``
+  -- never from the executor's adversary rng -- so the same plan
+  against the same spec injects byte-identical faults, in any process.
+* **Transparency at zero.**  An empty plan (``FaultPlan()`` /
+  ``FaultPlan.none()``) is never wired in at all: the executor's output
+  is bit-identical to an un-instrumented execution.
+
+Plans are frozen dataclasses, so they pickle (they ride inside
+:class:`repro.sim.executor.ExecutionConfig`, crossing process
+boundaries with their spec) and they participate in the run cache's
+content digest -- a faulted spec can never alias a clean one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.model.events import Message, ProcessId
+
+__all__ = ["ChannelFaults", "DetectorFaults", "FaultInjector", "FaultPlan"]
+
+#: Corrupted messages keep their payload but get a poisoned kind, so
+#: protocols (which dispatch on kind) see a delivery they cannot parse
+#: -- the simulation analogue of a checksum failure -- without the
+#: injector having to understand payload schemas.
+CORRUPT_KIND_PREFIX = "corrupt:"
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Channel misbehaviour past the spec: duplication, corruption,
+    delay beyond the bound, and drops outside the R5 fairness budget.
+
+    All probabilities are per submitted copy.  ``drop_prob`` drops are
+    applied *before* the wrapped channel sees the copy, so they are not
+    counted against (and not clamped by) the fairness budget: a plan
+    with ``drop_prob > 0`` can violate R5, which is exactly what the
+    negative tests need.
+    """
+
+    duplicate_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_extra_delay: int = 6
+
+    def __post_init__(self) -> None:
+        for name in ("duplicate_prob", "corrupt_prob", "drop_prob", "delay_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.max_extra_delay < 1:
+            raise ValueError("max_extra_delay must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.duplicate_prob > 0
+            or self.corrupt_prob > 0
+            or self.drop_prob > 0
+            or self.delay_prob > 0
+        )
+
+
+@dataclass(frozen=True)
+class DetectorFaults:
+    """Detector misbehaviour: omissions (completeness violations) and
+    lies (accuracy violations).
+
+    * ``suppress`` -- processes that are erased from every standard
+      report: a crashed member of ``suppress`` is never suspected, a
+      targeted completeness violation.
+    * ``omission_prob`` -- probability an entire report is swallowed.
+    * ``falsely_suspect`` -- processes injected into every standard
+      report (typically live ones: a targeted accuracy violation).
+    * ``lie_prob`` + ``fabricate_interval`` -- with no report due, lie
+      spontaneously: every ``fabricate_interval`` ticks, with
+      probability ``lie_prob``, emit a fabricated suspicion of
+      ``falsely_suspect`` (or of the first live peer when empty).
+
+    Decisions are drawn from a :class:`random.Random` seeded by the
+    stable string ``"{seed}:{pid}:{tick}"``, so the same faults replay
+    identically across processes and inside the bounded explorer.
+    """
+
+    suppress: tuple[ProcessId, ...] = ()
+    omission_prob: float = 0.0
+    falsely_suspect: tuple[ProcessId, ...] = ()
+    lie_prob: float = 0.0
+    fabricate_interval: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "suppress", tuple(self.suppress))
+        object.__setattr__(self, "falsely_suspect", tuple(self.falsely_suspect))
+        if not 0.0 <= self.omission_prob <= 1.0:
+            raise ValueError("omission_prob must be in [0, 1]")
+        if not 0.0 <= self.lie_prob <= 1.0:
+            raise ValueError("lie_prob must be in [0, 1]")
+        if self.fabricate_interval < 0:
+            raise ValueError("fabricate_interval must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return (
+            bool(self.suppress)
+            or self.omission_prob > 0
+            or bool(self.falsely_suspect)
+            or self.lie_prob > 0
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's injected-fault schedule: channel + detector + stalls.
+
+    ``stalls`` is a tuple of ``(process, start_tick, end_tick)`` windows
+    during which the process takes no step at all (models GC pauses /
+    scheduling starvation beyond the adversary's bounded skips); stall
+    windows are deterministic, no randomness involved.
+    """
+
+    seed: int = 0
+    channel: ChannelFaults | None = None
+    detector: DetectorFaults | None = None
+    stalls: tuple[tuple[ProcessId, int, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        for pid, start, end in self.stalls:
+            if not 1 <= start < end:
+                raise ValueError(
+                    f"stall window for {pid!r} needs 1 <= start < end"
+                )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan (never wired into an executor at all)."""
+        return cls()
+
+    def with_(self, **changes: object) -> "FaultPlan":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff wiring this plan in can have no effect whatsoever."""
+        return (
+            (self.channel is None or not self.channel.active)
+            and (self.detector is None or not self.detector.active)
+            and not self.stalls
+        )
+
+    def injector(self, run_seed: int) -> "FaultInjector":
+        """The per-run injector: all decisions derive from (plan, run) seeds."""
+        return FaultInjector(self, run_seed)
+
+
+class FaultInjector:
+    """Per-run fault decisions plus the counters that make them auditable.
+
+    One injector serves one execution.  Channel decisions consume a
+    private sequential rng (the submission order is deterministic given
+    the spec, so the draw sequence replays); stall decisions are pure
+    lookups.  Counters land in ``run.meta["faults"]`` so a differential
+    test can assert byte-identical injection across replays.
+    """
+
+    __slots__ = ("plan", "rng", "counters")
+
+    def __init__(self, plan: FaultPlan, run_seed: int) -> None:
+        self.plan = plan
+        self.rng = random.Random(f"repro-faults:{plan.seed}:{run_seed}")
+        self.counters: dict[str, int] = {}
+
+    def note(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    # -- channel decisions ---------------------------------------------------
+
+    @property
+    def channel_faults_active(self) -> bool:
+        return self.plan.channel is not None and self.plan.channel.active
+
+    def drop(self) -> bool:
+        """Drop this copy outside the fairness budget (R5 violation)?"""
+        faults = self.plan.channel
+        if faults is None or faults.drop_prob <= 0:
+            return False
+        if self.rng.random() < faults.drop_prob:
+            self.note("extra_drops")
+            return True
+        return False
+
+    def corrupt(self, message: Message) -> Message:
+        """Possibly poison the message kind (payload survives)."""
+        faults = self.plan.channel
+        if faults is None or faults.corrupt_prob <= 0:
+            return message
+        if self.rng.random() < faults.corrupt_prob:
+            self.note("corruptions")
+            return Message(CORRUPT_KIND_PREFIX + message.kind, message.payload)
+        return message
+
+    def extra_delay(self) -> int:
+        """Ticks of delay past the channel's bound for this copy (0 = none)."""
+        faults = self.plan.channel
+        if faults is None or faults.delay_prob <= 0:
+            return 0
+        if self.rng.random() < faults.delay_prob:
+            self.note("extra_delays")
+            return self.rng.randint(1, faults.max_extra_delay)
+        return 0
+
+    def duplicate(self) -> bool:
+        """Inject a second copy of this submission?"""
+        faults = self.plan.channel
+        if faults is None or faults.duplicate_prob <= 0:
+            return False
+        if self.rng.random() < faults.duplicate_prob:
+            self.note("duplicates")
+            return True
+        return False
+
+    # -- process stalls ------------------------------------------------------
+
+    def stalled(self, pid: ProcessId, tick: int) -> bool:
+        """Is ``pid`` inside one of its stall windows at ``tick``?"""
+        for victim, start, end in self.plan.stalls:
+            if victim == pid and start <= tick < end:
+                self.note("stalled_ticks")
+                return True
+        return False
+
+    def summary(self) -> dict[str, int]:
+        """A copy of the injection counters (for ``run.meta['faults']``)."""
+        return dict(self.counters)

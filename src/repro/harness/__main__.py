@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.harness [--list] [--backend serial|process[:N]] [IDS...]
     python -m repro.harness explore [--n N] [--t T] [--horizon T] [...]
+    python -m repro.harness chaos
 
 With no ids, every registered experiment runs.  ``--backend process``
 executes the ensemble sweeps inside each experiment on a worker-process
@@ -13,6 +14,14 @@ The ``explore`` subcommand runs the bounded exhaustive checker
 (:mod:`repro.explore`) instead of a seeded ensemble: it enumerates every
 run of the chosen context up to the horizon, reports monitor violations,
 and (with ``--shrink``) minimizes the first one to a replayable witness.
+
+The ``chaos`` subcommand is the runtime-hardening smoke test: it runs a
+small ensemble under a seeded infrastructure fault plan (one worker
+killed mid-batch, one run hung past its deadline, one corrupted disk
+cache entry) and exits 0 iff the batch completes *degraded* -- no
+exception, the casualties and recoveries as structured
+:class:`~repro.runtime.report.FailedRun` records, and a usable System
+over the survivors.
 """
 
 from __future__ import annotations
@@ -125,11 +134,119 @@ def _explore_main(argv: list[str]) -> int:
     return 1 if report.violations else 0
 
 
+def _chaos_main(argv: list[str]) -> int:
+    """``python -m repro.harness chaos``: the hardened-runtime smoke test.
+
+    Deterministic chaos: the fault plan is fixed (kill the worker that
+    picks up seed 5, hang seed 7 past its 1s deadline, corrupt the disk
+    cache entry for seed 0), so the expected degraded report is too.
+    """
+    import tempfile
+    import warnings
+    from pathlib import Path
+
+    from repro.core.protocols import NUDCProcess
+    from repro.faults import InfraFaultPlan, corrupt_cache_entry, use_infra_faults
+    from repro.model.context import make_process_ids
+    from repro.runtime import (
+        ProcessPoolBackend,
+        RetryPolicy,
+        RunCache,
+        RunSpec,
+        run_ensemble,
+    )
+    from repro.sim.executor import ExecutionConfig
+    from repro.sim.process import uniform_protocol
+    from repro.workloads.generators import single_action
+
+    if argv:
+        print("usage: python -m repro.harness chaos   (no options)")
+        return 0 if argv[0] in ("-h", "--help") else 2
+
+    processes = make_process_ids(3)
+    config = ExecutionConfig(deadline=1.0)
+    specs = [
+        RunSpec(
+            processes=processes,
+            protocol=uniform_protocol(NUDCProcess),
+            workload=single_action("p1", tick=1),
+            config=config,
+            seed=seed,
+        )
+        for seed in range(10)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        state_dir = Path(tmp) / "state"
+        state_dir.mkdir()
+
+        # Warm the disk cache with two runs, then corrupt one entry.
+        run_ensemble(specs[:2], backend="serial", cache=RunCache(cache_dir))
+        digest = specs[0].digest()
+        assert digest is not None
+        corrupt_cache_entry(cache_dir, digest)
+
+        plan = InfraFaultPlan(
+            state_dir=str(state_dir),
+            kill_worker_seeds=(5,),
+            hangs=((7, 2.5),),
+        )
+        with use_infra_faults(plan), warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = run_ensemble(
+                specs,
+                backend=ProcessPoolBackend(max_workers=2),
+                cache=RunCache(cache_dir),
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.05),
+            )
+
+    print(report.summary())
+    system = report.system()
+    records = len(report.failures) + len(report.recoveries)
+    checks = [
+        ("batch completed degraded (no exception)", not report.complete),
+        (
+            "hung run recorded as a deadline failure",
+            any(f.kind == "deadline" for f in report.failures),
+        ),
+        (
+            "killed worker recovered via pool respawn",
+            any(r.kind == "worker-crash" for r in report.recoveries),
+        ),
+        (
+            "corrupt cache entry quarantined and regenerated",
+            any(r.kind == "cache-corrupt" for r in report.recoveries),
+        ),
+        (f">= 3 structured fault records (got {records})", records >= 3),
+        (
+            "degradation warning issued",
+            any(issubclass(w.category, UserWarning) for w in caught),
+        ),
+        (
+            "System built over survivors, marked incomplete",
+            not system.complete and system.missing_runs == len(report.failures),
+        ),
+        (
+            "every non-failed spec has a run",
+            len(report.runs) == len(specs) - len(report.failures),
+        ),
+    ]
+    ok = True
+    for label, passed in checks:
+        print(f"    [{'ok' if passed else 'FAIL'}] {label}")
+        ok = ok and passed
+    print("chaos smoke " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def main(argv: list[str]) -> int:
     """Run the requested experiments (all by default) and print results."""
     args = list(argv)
     if args and args[0] == "explore":
         return _explore_main(args[1:])
+    if args and args[0] == "chaos":
+        return _chaos_main(args[1:])
     if "--list" in args:
         print(registry.describe())
         return 0

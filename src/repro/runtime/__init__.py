@@ -25,24 +25,40 @@ Quickstart::
 
 from repro.runtime.api import run_ensemble, run_spec
 from repro.runtime.backends import (
+    BatchResult,
     ExecutionBackend,
     ProcessPoolBackend,
+    RetryPolicy,
     SerialBackend,
     backend_from_name,
     get_default_backend,
     set_default_backend,
 )
-from repro.runtime.cache import RunCache, default_run_cache, set_default_run_cache
-from repro.runtime.report import EnsembleReport, ExploreReport, RunMetrics
+from repro.runtime.cache import (
+    CacheIntegrityError,
+    RunCache,
+    default_run_cache,
+    set_default_run_cache,
+)
+from repro.runtime.report import (
+    EnsembleReport,
+    ExploreReport,
+    FailedRun,
+    RunMetrics,
+)
 from repro.runtime.spec import EnsembleSpec, ExploreSpec, RunSpec, spec_digest
 
 __all__ = [
+    "BatchResult",
+    "CacheIntegrityError",
     "EnsembleReport",
     "EnsembleSpec",
     "ExecutionBackend",
     "ExploreReport",
     "ExploreSpec",
+    "FailedRun",
     "ProcessPoolBackend",
+    "RetryPolicy",
     "RunCache",
     "RunMetrics",
     "RunSpec",

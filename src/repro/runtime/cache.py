@@ -7,14 +7,26 @@ invocations, and benchmark rounds.  :class:`RunCache` exploits that:
 * keys are :func:`repro.runtime.spec.spec_digest` content hashes
   (sha256 over the spec's pickled fields); specs that do not pickle
   (lambda blackholes and the like) are simply never cached;
-* entries live in memory, and optionally on disk as the JSON run format
-  of :mod:`repro.model.serialize` -- point ``directory`` at a path to
-  persist runs across processes;
+* entries live in memory, and optionally on disk -- point ``directory``
+  at a path to persist runs across processes;
 * invalidation is automatic by construction: any change to a spec field
   (protocol class or kwargs, crash plan, workload, detector, channel
   config, seed) changes the digest, so stale hits cannot happen.  Wipe
   the directory (or ``clear()``) after changing *executor semantics*,
   which are outside the key.
+
+Disk integrity (the cache must never poison an ensemble):
+
+* every write goes to a ``*.tmp`` file in the same directory and is
+  published with ``os.replace`` -- atomic on POSIX, so an interrupted
+  process can never leave a torn entry under the real name;
+* every entry embeds a sha256 over its canonical JSON body, verified on
+  read; a mismatch (bit rot, tampering, a torn legacy write) quarantines
+  the file (renamed to ``*.corrupt``, recorded in ``quarantined``) and
+  reads as a miss, so the run is silently regenerated;
+* the pre-integrity v1 formats (a raw run dict / the v1 exploration
+  payload) are still readable -- without a checksum there is nothing to
+  verify, but parse failures quarantine the same way.
 
 ``run_ensemble`` consults the process-wide default cache unless told
 otherwise; disable with ``run_ensemble(..., cache=None)``.
@@ -23,7 +35,9 @@ otherwise; disable with ``run_ensemble(..., cache=None)``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -32,6 +46,60 @@ from repro.runtime.spec import RunSpec, spec_digest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.explore.reduction import ExploreStats
+
+_RUN_FORMAT = "repro-run-entry-v2"
+_EXPLORE_FORMAT = "repro-exploration-v2"
+_EXPLORE_FORMAT_V1 = "repro-exploration-v1"
+
+
+class CacheIntegrityError(ValueError):
+    """A disk cache entry failed parsing or its checksum check."""
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write-then-rename: readers see the old entry or the new, never a torn one."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _body_sha256(body: object) -> str:
+    serial = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(serial.encode("utf-8")).hexdigest()
+
+
+def _encode_run_entry(run: Run) -> str:
+    from repro.model.serialize import run_to_dict
+
+    body = run_to_dict(run)
+    return json.dumps(
+        {"format": _RUN_FORMAT, "sha256": _body_sha256(body), "run": body}
+    )
+
+
+def _decode_run_entry(text: str) -> Run:
+    from repro.model.serialize import run_from_dict
+
+    try:
+        payload = json.loads(text)
+    except Exception as exc:
+        raise CacheIntegrityError(f"unparseable cache entry: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CacheIntegrityError("cache entry is not a JSON object")
+    if payload.get("format") == _RUN_FORMAT:
+        body = payload.get("run")
+        stored = payload.get("sha256")
+        if _body_sha256(body) != stored:
+            raise CacheIntegrityError(
+                "content digest mismatch: entry bytes do not match their "
+                "recorded sha256 (torn write, bit rot, or tampering)"
+            )
+        return run_from_dict(body)
+    if "version" in payload:  # legacy v1: a raw run dict, no checksum
+        return run_from_dict(payload)
+    raise CacheIntegrityError(
+        f"unrecognized cache entry format {payload.get('format')!r}"
+    )
 
 
 class RunCache:
@@ -44,6 +112,9 @@ class RunCache:
     :class:`~repro.explore.reduction.ExploreStats` -- keyed by
     ``ExploreSpec.digest()``.  Only exhaustive explorations are ever
     stored, so a group hit can never silently hide part of a run set.
+
+    ``quarantined`` lists ``(digest, reason)`` for every disk entry that
+    failed its integrity check and was moved aside to ``*.corrupt``.
     """
 
     def __init__(self, directory: str | Path | None = None) -> None:
@@ -55,6 +126,7 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.skips = 0  # unpicklable specs: cache not applicable
+        self.quarantined: list[tuple[str, str]] = []
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -63,8 +135,23 @@ class RunCache:
         assert self.directory is not None
         return self.directory / f"{digest}.json"
 
+    def _quarantine(self, path: Path, digest: str, reason: str) -> None:
+        try:
+            path.replace(path.with_name(path.stem + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self.quarantined.append((digest, reason))
+
     def get(self, spec: RunSpec) -> Run | None:
-        """The cached run for this spec, or None."""
+        """The cached run for this spec, or None.
+
+        A disk entry that fails its integrity check is quarantined and
+        reported as a miss -- the caller regenerates the run and the
+        next ``put`` rewrites a healthy entry.
+        """
         digest = spec_digest(spec)
         if digest is None:
             self.skips += 1
@@ -73,13 +160,16 @@ class RunCache:
         if run is None and self.directory is not None:
             path = self._path(digest)
             if path.exists():
-                from repro.model.serialize import load_run
-
-                run = load_run(path)
-                # The JSON codec keeps scalars and crash plans; anything
-                # else the executor recorded is recoverable from the spec.
-                run.meta.setdefault("crash_plan", spec.crash_plan)
-                self._memory[digest] = run
+                try:
+                    run = _decode_run_entry(path.read_text(encoding="utf-8"))
+                except Exception as exc:
+                    self._quarantine(path, digest, f"{type(exc).__name__}: {exc}")
+                    run = None
+                else:
+                    # The JSON codec keeps scalars and crash plans; anything
+                    # else the executor recorded is recoverable from the spec.
+                    run.meta.setdefault("crash_plan", spec.crash_plan)
+                    self._memory[digest] = run
         if run is None:
             self.misses += 1
             return None
@@ -93,9 +183,7 @@ class RunCache:
             return
         self._memory[digest] = run
         if self.directory is not None:
-            from repro.model.serialize import save_run
-
-            save_run(run, self._path(digest))
+            _atomic_write_text(self._path(digest), _encode_run_entry(run))
 
     # -- exploration groups -------------------------------------------------
 
@@ -109,14 +197,22 @@ class RunCache:
         """The cached (runs, stats) for an ExploreSpec digest, or None.
 
         The stats come back as a fresh copy, so a caller's monitor
-        counters never leak into the cached baseline.
+        counters never leak into the cached baseline.  Corrupt entries
+        quarantine and read as a miss, like :meth:`get`.
         """
         entry = self._explorations.get(digest)
         if entry is None and self.directory is not None:
             path = self._explore_path(digest)
             if path.exists():
-                entry = _load_exploration(path)
-                self._explorations[digest] = entry
+                try:
+                    entry = _load_exploration(path)
+                except Exception as exc:
+                    self._quarantine(
+                        path, f"explore-{digest}", f"{type(exc).__name__}: {exc}"
+                    )
+                    entry = None
+                else:
+                    self._explorations[digest] = entry
         if entry is None:
             self.misses += 1
             return None
@@ -138,6 +234,7 @@ class RunCache:
         self._memory.clear()
         self._explorations.clear()
         self.hits = self.misses = self.skips = 0
+        self.quarantined.clear()
 
 
 def _save_exploration(
@@ -146,24 +243,46 @@ def _save_exploration(
     from repro.model.serialize import run_to_dict
 
     runs, stats = entry
-    payload = {
-        "format": "repro-exploration-v1",
+    body = {
         "stats": stats.as_dict(),
         "runs": [run_to_dict(run) for run in runs],
     }
-    path.write_text(json.dumps(payload), encoding="utf-8")
+    payload = {
+        "format": _EXPLORE_FORMAT,
+        "sha256": _body_sha256(body),
+        "body": body,
+    }
+    _atomic_write_text(path, json.dumps(payload))
 
 
 def _load_exploration(path: Path) -> tuple[tuple[Run, ...], "ExploreStats"]:
     from repro.explore.reduction import ExploreStats
     from repro.model.serialize import run_from_dict
 
-    payload = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except Exception as exc:
+        raise CacheIntegrityError(f"unparseable exploration entry: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CacheIntegrityError("exploration entry is not a JSON object")
+    fmt = payload.get("format")
+    if fmt == _EXPLORE_FORMAT:
+        body = payload.get("body")
+        if _body_sha256(body) != payload.get("sha256"):
+            raise CacheIntegrityError(
+                "content digest mismatch on exploration entry"
+            )
+        if not isinstance(body, dict):
+            raise CacheIntegrityError("exploration body is not a JSON object")
+    elif fmt == _EXPLORE_FORMAT_V1:  # legacy: body at top level, no checksum
+        body = payload
+    else:
+        raise CacheIntegrityError(f"unrecognized exploration format {fmt!r}")
     known = {f.name for f in dataclasses.fields(ExploreStats)}
     stats = ExploreStats(
-        **{k: v for k, v in payload.get("stats", {}).items() if k in known}
+        **{k: v for k, v in body.get("stats", {}).items() if k in known}
     )
-    runs = tuple(run_from_dict(entry) for entry in payload.get("runs", ()))
+    runs = tuple(run_from_dict(entry) for entry in body.get("runs", ()))
     return runs, stats
 
 

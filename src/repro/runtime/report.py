@@ -15,12 +15,53 @@ from typing import TYPE_CHECKING
 
 from repro.model.run import Run
 from repro.model.system import KernelStats, System
+from repro.sim.failures import CrashPlan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.explore.monitors import Violation
     from repro.explore.reduction import ExploreStats
     from repro.model.context import Context
     from repro.runtime.spec import ExploreSpec, RunSpec
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """One spec the runtime could not (or at first could not) execute.
+
+    ``kind`` classifies the fault:
+
+    * ``"deadline"``     -- the run overran ``ExecutionConfig.deadline``;
+    * ``"worker-crash"`` -- a pool worker died (``BrokenProcessPool``);
+    * ``"exception"``    -- the executor raised;
+    * ``"lost"``         -- the backend could not account for the spec;
+    * ``"cache-corrupt"``-- a disk cache entry failed its integrity
+      check and was quarantined.
+
+    ``recovered=True`` marks a *recovery* record: a later attempt (or a
+    regeneration, for cache corruption) succeeded, so the run is present
+    in the report and this record only documents the bumpy road.
+    """
+
+    index: int  # position in the expanded spec list
+    seed: int
+    kind: str
+    attempts: int = 1
+    error: str = ""
+    crash_plan: CrashPlan | None = None
+    recovered: bool = False
+
+    def describe(self) -> str:
+        crashes = (
+            dict(self.crash_plan.crashes)
+            if self.crash_plan is not None and self.crash_plan.faulty
+            else "none"
+        )
+        status = "recovered" if self.recovered else "failed"
+        detail = f": {self.error}" if self.error else ""
+        return (
+            f"spec {self.index} (seed={self.seed}, crashes={crashes}) "
+            f"{status} [{self.kind}] after {self.attempts} attempt(s){detail}"
+        )
 
 
 @dataclass(frozen=True)
@@ -55,7 +96,16 @@ def metrics_for(index: int, spec: "RunSpec", run: Run, wall_time: float, cached:
 
 @dataclass(frozen=True)
 class EnsembleReport:
-    """The outcome of one ``run_ensemble`` call."""
+    """The outcome of one ``run_ensemble`` call.
+
+    ``runs``/``metrics`` cover the *surviving* specs only; when the
+    hardened runtime degraded (deadline, worker crash, exhausted
+    retries) the casualties are in ``failures`` and the bumps survived
+    along the way (retried exceptions, respawned pools, quarantined
+    cache entries) in ``recoveries``.  ``complete`` is True iff nothing
+    was lost; ``specs`` always lists the full plan, and
+    ``metrics[i].index`` points back into it.
+    """
 
     specs: tuple["RunSpec", ...]
     runs: tuple[Run, ...]
@@ -64,9 +114,16 @@ class EnsembleReport:
     wall_time: float  # whole-batch wall time, seconds
     cache_hits: int
     context: "Context | None" = None
+    failures: tuple[FailedRun, ...] = ()
+    recoveries: tuple[FailedRun, ...] = ()
 
     def __len__(self) -> int:
         return len(self.runs)
+
+    @property
+    def complete(self) -> bool:
+        """Did every planned spec yield a run?"""
+        return not self.failures
 
     def system(self) -> System:
         """The runs as a System (the knowledge machinery's input).
@@ -75,10 +132,23 @@ class EnsembleReport:
         epistemic kernel's class tables are built once per report and
         its :class:`~repro.model.system.KernelStats` accumulate where
         :attr:`kernel_stats` (and :meth:`summary`) can surface them.
+
+        A degraded report builds the System over the surviving runs;
+        the System carries ``missing_runs=len(failures)`` and its
+        :class:`~repro.model.system.IncompleteSystemWarning` says how
+        incomplete the sample is.
         """
+        if not self.runs:
+            raise ValueError(
+                "ensemble degraded to zero surviving runs; see report.failures"
+            )
         cached = getattr(self, "_system", None)
         if cached is None:
-            cached = System(self.runs, context=self.context)
+            cached = System(
+                self.runs,
+                context=self.context,
+                missing_runs=len(self.failures),
+            )
             object.__setattr__(self, "_system", cached)
         return cached
 
@@ -116,12 +186,20 @@ class EnsembleReport:
         """One readable paragraph of batch statistics."""
         n = len(self.runs)
         mean_ticks = self.total_ticks / n if n else 0.0
+        planned = len(self.specs)
+        headline = f"ensemble of {n} runs via {self.backend} backend in {self.wall_time:.3f}s"
+        if self.failures:
+            headline += f" [DEGRADED: {len(self.failures)}/{planned} failed]"
         lines = [
-            f"ensemble of {n} runs via {self.backend} backend in {self.wall_time:.3f}s",
+            headline,
             f"    executed {self.executed}, cache hits {self.cache_hits}",
             f"    ticks total {self.total_ticks} (mean {mean_ticks:.1f}); "
             f"messages delivered {self.total_delivered}, dropped {self.total_dropped}",
         ]
+        for failed in self.failures:
+            lines.append(f"    FAILED {failed.describe()}")
+        for recovery in self.recoveries:
+            lines.append(f"    recovered {recovery.describe()}")
         if self.executed:
             lines.append(
                 f"    per-run wall time sum {self.run_wall_time:.3f}s "

@@ -65,9 +65,9 @@ class RunSpec:
                 f"crash plan names unknown processes {sorted(unknown)}"
             )
 
-    def with_(self, **changes) -> "RunSpec":
+    def with_(self, **changes: object) -> "RunSpec":
         """A copy with the given fields replaced (sweep helper)."""
-        return replace(self, **changes)
+        return replace(self, **changes)  # type: ignore[arg-type]
 
     def digest(self) -> str | None:
         """Stable content hash, or None when the spec is not picklable."""

@@ -29,6 +29,7 @@ convention is faithful (DESIGN.md, substitution 1).
 from __future__ import annotations
 
 import random
+import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
@@ -52,6 +53,7 @@ from repro.sim.network import ChannelConfig, Envelope, make_channel
 from repro.sim.process import ProcessEnv, ProtocolProcess
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultInjector, FaultPlan
     from repro.runtime.spec import RunSpec
 
 #: (tick, process, action) triples; see repro.workloads.
@@ -77,10 +79,29 @@ class ExecutionConfig:
     activation_prob: float = 1.0
     max_consecutive_skips: int = 4
     validate: bool = True
+    #: wall-clock budget in seconds for one execution; the executor
+    #: raises :class:`RunDeadlineExceeded` mid-run when exceeded, and the
+    #: backends post-check it so pre-run stalls are caught too.  None
+    #: disables the check entirely (and costs nothing).
+    deadline: float | None = None
+    #: injected faults beyond the paper's model (repro.faults).  An empty
+    #: or None plan is never wired in: runs stay bit-identical to the
+    #: un-instrumented executor.
+    fault_plan: "FaultPlan | None" = None
 
     def with_channel(self, **kwargs) -> "ExecutionConfig":
         """A copy of this config with channel parameters replaced."""
         return replace(self, channel=replace(self.channel, **kwargs))
+
+
+class RunDeadlineExceeded(RuntimeError):
+    """An execution overran its ``ExecutionConfig.deadline``.
+
+    Raised cooperatively from the tick loop (and post-hoc by the
+    backends when a run stalls before the loop starts).  The hardened
+    backends convert it into a structured ``FailedRun`` of kind
+    ``"deadline"`` instead of aborting the batch.
+    """
 
 
 class Executor:
@@ -108,10 +129,34 @@ class Executor:
         self.rng = random.Random(seed)
         self.seed = seed
         self.crash_plan = crash_plan
-        self.detector = (detector or NoDetector()).fresh()
         self.context = context
 
+        # Fault injection (repro.faults): an empty/None plan is never
+        # wired in at all, keeping un-faulted runs bit-identical.
+        plan = self.config.fault_plan
+        self._injector: "FaultInjector | None" = None
+        if plan is not None and not plan.is_empty:
+            self._injector = plan.injector(seed)
+
+        base_detector = detector or NoDetector()
+        if (
+            self._injector is not None
+            and plan is not None
+            and plan.detector is not None
+            and plan.detector.active
+        ):
+            from repro.faults.detector import FaultyDetectorOracle
+
+            base_detector = FaultyDetectorOracle(
+                base_detector, plan.detector, injector=self._injector
+            )
+        self.detector = base_detector.fresh()
+
         self.channel = make_channel(self.config.channel, self.rng)
+        if self._injector is not None and self._injector.channel_faults_active:
+            from repro.faults.channel import FaultyChannel
+
+            self.channel = FaultyChannel(self.channel, self._injector)
         self.envs = {p: ProcessEnv(p, self.processes) for p in self.processes}
         self.protocols = {
             p: protocol_factory(p, self.envs[p]) for p in self.processes
@@ -211,7 +256,17 @@ class Executor:
         tick = 1  # r(0) is the empty cut (R1); the first events land at time 1
         quiet_streak = 0
         cfg = self.config
+        deadline = cfg.deadline
+        started_at = time.perf_counter() if deadline is not None else 0.0
         while tick < cfg.max_ticks:
+            if (
+                deadline is not None
+                and time.perf_counter() - started_at > deadline
+            ):
+                raise RunDeadlineExceeded(
+                    f"run (seed={self.seed}) exceeded its {deadline:.3f}s "
+                    f"deadline at tick {tick}"
+                )
             appended_this_tick = False
 
             # 1. planned crashes land first; a crash occupies the tick.
@@ -229,6 +284,8 @@ class Executor:
             order = self._live()
             self.rng.shuffle(order)
             for pid in order:
+                if self._injector is not None and self._injector.stalled(pid, tick):
+                    continue  # injected stall: no step, no rng consumption
                 if (
                     cfg.activation_prob < 1.0
                     and self._skip_streak[pid] < cfg.max_consecutive_skips
@@ -262,21 +319,31 @@ class Executor:
                 break
             tick += 1
 
+        meta = {
+            "seed": self.seed,
+            "crash_plan": self.crash_plan,
+            "detector": self.detector.name,
+            "channel": cfg.channel.semantics.value,
+            "dropped": self.channel.dropped_count,
+            "delivered": self.channel.delivered_count,
+            "hit_tick_cap": tick >= cfg.max_ticks,
+        }
+        channel_faults = (
+            self._injector is not None and self._injector.channel_faults_active
+        )
+        if self._injector is not None:
+            meta["faults"] = self._injector.summary()
         run = Run(
             self.processes,
             self._timelines,
             duration=tick,
-            meta={
-                "seed": self.seed,
-                "crash_plan": self.crash_plan,
-                "detector": self.detector.name,
-                "channel": cfg.channel.semantics.value,
-                "dropped": self.channel.dropped_count,
-                "delivered": self.channel.delivered_count,
-                "hit_tick_cap": tick >= cfg.max_ticks,
-            },
+            meta=meta,
         )
-        if cfg.validate and cfg.channel.semantics is not ChannelSemantics.UNFAIR:
+        if (
+            cfg.validate
+            and not channel_faults  # duplicates break R3, extra drops break R5
+            and cfg.channel.semantics is not ChannelSemantics.UNFAIR
+        ):
             # The finite R5 checker flags persistent unreceived sends; a
             # sender may legitimately stop just under the channel's
             # drop budget, so the threshold must exceed it.  Beyond the

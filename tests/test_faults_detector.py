@@ -1,0 +1,173 @@
+"""Negative-path tests: injected detector faults are *caught* by the
+property checkers of :mod:`repro.detectors.properties` -- both on seeded
+executor runs and under the bounded explorer's monitors."""
+
+import pytest
+
+from repro.core.protocols import StrongFDUDCProcess
+from repro.detectors.properties import (
+    strong_accuracy,
+    strong_completeness,
+    weak_accuracy,
+    weak_completeness,
+)
+from repro.detectors.standard import PerfectOracle
+from repro.explore import explore
+from repro.explore.monitors import detector_monitor_suite
+from repro.faults import DetectorFaults, FaultPlan, FaultyDetectorOracle
+from repro.model.context import make_process_ids
+from repro.model.events import SuspectEvent
+from repro.runtime import ExploreSpec, RunSpec
+from repro.sim.executor import ExecutionConfig, Executor
+from repro.sim.failures import CrashPlan
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import post_crash_workload, single_action
+
+PROCS = make_process_ids(4)
+PLAN = CrashPlan.of({"p2": 5})
+
+
+def run_with(detector=None, fault_plan=None, seed=0, plan=PLAN, max_ticks=5000):
+    workload = single_action("p1", tick=1) + post_crash_workload(
+        PROCS, plan, actions_per_survivor=1
+    )
+    config = None
+    if fault_plan is not None or max_ticks != 5000:
+        config = ExecutionConfig(max_ticks=max_ticks, fault_plan=fault_plan)
+    spec = RunSpec(
+        processes=PROCS,
+        protocol=uniform_protocol(StrongFDUDCProcess),
+        crash_plan=plan,
+        workload=workload,
+        detector=detector,
+        config=config,
+        seed=seed,
+    )
+    return Executor.from_spec(spec).run()
+
+
+class TestInactiveWrapperTransparency:
+    def test_inactive_faults_change_nothing(self):
+        baseline = run_with(PerfectOracle())
+        wrapped = run_with(FaultyDetectorOracle(PerfectOracle(), DetectorFaults()))
+        assert baseline == wrapped
+        for p in PROCS:
+            assert baseline.timeline(p) == wrapped.timeline(p)
+
+
+class TestTargetedViolations:
+    def test_baseline_perfect_oracle_is_perfect(self):
+        run = run_with(PerfectOracle())
+        assert strong_accuracy(run)
+        assert strong_completeness(run)
+
+    def test_suppress_breaks_completeness(self):
+        faults = DetectorFaults(suppress=("p2",))
+        run = run_with(
+            PerfectOracle(), fault_plan=FaultPlan(detector=faults)
+        )
+        # p2 crashes but is erased from every report: nobody ever
+        # suspects it, violating even weak completeness.
+        assert not strong_completeness(run)
+        assert not weak_completeness(run)
+        assert run.meta["faults"].get("detector_distortions", 0) >= 1
+
+    def test_falsely_suspect_breaks_strong_accuracy_only(self):
+        faults = DetectorFaults(falsely_suspect=("p3",))
+        run = run_with(
+            PerfectOracle(), fault_plan=FaultPlan(detector=faults)
+        )
+        # p3 is live, so suspecting it violates strong accuracy; the
+        # fault is targeted, so p1/p4 stay unsuspected and weak
+        # accuracy survives.
+        assert not strong_accuracy(run)
+        assert weak_accuracy(run)
+
+    def test_total_omission_silences_the_detector(self):
+        faults = DetectorFaults(omission_prob=1.0)
+        run = run_with(
+            PerfectOracle(), fault_plan=FaultPlan(detector=faults)
+        )
+        assert not any(
+            isinstance(e, SuspectEvent) for p in PROCS for e in run.events(p)
+        )
+        assert not strong_completeness(run)
+        assert run.meta["faults"]["detector_omissions"] >= 1
+
+    def test_fabrication_lies_without_a_base_report(self):
+        # No base detector at all: every report in the run is a lie.
+        faults = DetectorFaults(
+            falsely_suspect=("p1",), lie_prob=1.0, fabricate_interval=2
+        )
+        run = run_with(
+            fault_plan=FaultPlan(detector=faults),
+            plan=CrashPlan.none(),
+            max_ticks=120,
+        )
+        assert any(
+            isinstance(e, SuspectEvent) for p in PROCS for e in run.events(p)
+        )
+        assert not strong_accuracy(run)
+        assert run.meta["faults"]["detector_fabrications"] >= 1
+
+    def test_replays_identically(self):
+        faults = DetectorFaults(omission_prob=0.5, seed=4)
+        plan = FaultPlan(detector=faults)
+        a = run_with(PerfectOracle(), fault_plan=plan)
+        b = run_with(PerfectOracle(), fault_plan=plan)
+        assert a == b
+        assert a.meta["faults"] == b.meta["faults"]
+
+
+class TestExploreMonitors:
+    def explore_spec(self, detector):
+        return ExploreSpec(
+            processes=make_process_ids(3),
+            protocol=uniform_protocol(StrongFDUDCProcess),
+            horizon=5,
+            max_failures=1,
+            crash_ticks=(1,),
+            workload=single_action("p1", tick=1),
+            detector=detector,
+        )
+
+    def test_injected_lie_flagged_by_accuracy_monitor(self):
+        faulty = FaultyDetectorOracle(
+            PerfectOracle(), DetectorFaults(falsely_suspect=("p1",))
+        )
+        report = explore(
+            self.explore_spec(faulty),
+            monitors=list(detector_monitor_suite()),
+            cache=None,
+        )
+        assert any(v.monitor == "strong_accuracy" for v in report.violations)
+
+    def test_clean_detector_raises_no_accuracy_violation(self):
+        report = explore(
+            self.explore_spec(PerfectOracle()),
+            monitors=list(detector_monitor_suite()),
+            cache=None,
+        )
+        assert not any("accuracy" in v.monitor for v in report.violations)
+
+    def test_suite_shape(self):
+        suite = detector_monitor_suite()
+        assert [m.name for m in suite] == ["strong_accuracy", "strong_completeness"]
+        assert suite[0].safety and not suite[1].safety
+        weak = detector_monitor_suite(weak=True)
+        assert [m.name for m in weak] == ["weak_accuracy", "weak_completeness"]
+
+
+class TestValidation:
+    def test_fresh_preserves_faults(self):
+        oracle = FaultyDetectorOracle(
+            PerfectOracle(), DetectorFaults(suppress=("p2",))
+        )
+        clone = oracle.fresh()
+        assert isinstance(clone, FaultyDetectorOracle)
+        assert clone.faults == oracle.faults
+        assert clone is not oracle
+
+    def test_name_marks_the_wrapper(self):
+        oracle = FaultyDetectorOracle(PerfectOracle(), DetectorFaults())
+        assert oracle.name == "faulty(perfect)"

@@ -1,0 +1,150 @@
+"""Differential tests for the model-level fault injection (repro.faults).
+
+The two load-bearing invariants:
+
+* an *empty* plan is never wired in, so runs stay bit-identical to the
+  un-instrumented executor;
+* the same plan against the same spec injects byte-identical faults
+  (all decisions come from a dedicated rng seeded by plan + run seeds).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.protocols import NUDCProcess
+from repro.faults import ChannelFaults, DetectorFaults, FaultPlan
+from repro.faults.plan import CORRUPT_KIND_PREFIX
+from repro.model.context import make_process_ids
+from repro.model.events import ReceiveEvent
+from repro.runtime import RunSpec, spec_digest
+from repro.sim.executor import ExecutionConfig, Executor
+from repro.sim.process import uniform_protocol
+from repro.workloads.generators import single_action
+
+PROCS = make_process_ids(3)
+
+#: Generous per-copy probabilities so a short run injects every kind.
+NOISY = ChannelFaults(
+    duplicate_prob=0.25, corrupt_prob=0.25, drop_prob=0.15, delay_prob=0.3
+)
+
+
+def make_spec(plan=None, seed=0, max_ticks=5000):
+    config = None
+    if plan is not None or max_ticks != 5000:
+        config = ExecutionConfig(max_ticks=max_ticks, fault_plan=plan)
+    return RunSpec(
+        processes=PROCS,
+        protocol=uniform_protocol(NUDCProcess),
+        workload=single_action("p1", tick=1),
+        config=config,
+        seed=seed,
+    )
+
+
+def run_of(spec):
+    return Executor.from_spec(spec).run()
+
+
+class TestEmptyPlanTransparency:
+    def test_empty_plan_bit_identical_to_uninstrumented(self):
+        baseline = run_of(make_spec())
+        wrapped = run_of(
+            make_spec().with_(config=ExecutionConfig(fault_plan=FaultPlan.none()))
+        )
+        assert baseline == wrapped
+        for p in PROCS:
+            assert baseline.timeline(p) == wrapped.timeline(p)
+        # No injector was created, so no fault counters either.
+        assert "faults" not in wrapped.meta
+        assert baseline.meta == wrapped.meta
+
+    def test_inactive_subplans_count_as_empty(self):
+        assert FaultPlan.none().is_empty
+        assert FaultPlan(channel=ChannelFaults(), detector=DetectorFaults()).is_empty
+        assert not FaultPlan(channel=ChannelFaults(drop_prob=0.1)).is_empty
+        assert not FaultPlan(stalls=(("p1", 2, 5),)).is_empty
+
+
+class TestReplayability:
+    def test_same_plan_same_spec_identical_faults(self):
+        plan = FaultPlan(seed=3, channel=NOISY)
+        a = run_of(make_spec(plan=plan, max_ticks=400))
+        b = run_of(make_spec(plan=plan, max_ticks=400))
+        assert a == b
+        assert a.meta["faults"] == b.meta["faults"]
+        assert sum(a.meta["faults"].values()) > 0
+
+    def test_plan_seed_changes_the_injection(self):
+        a = run_of(make_spec(plan=FaultPlan(seed=0, channel=NOISY), max_ticks=400))
+        b = run_of(make_spec(plan=FaultPlan(seed=1, channel=NOISY), max_ticks=400))
+        assert a != b or a.meta["faults"] != b.meta["faults"]
+
+
+class TestChannelFaults:
+    def test_corruption_rewrites_kind_payload_survives(self):
+        plan = FaultPlan(channel=ChannelFaults(corrupt_prob=1.0))
+        run = run_of(make_spec(plan=plan, max_ticks=300))
+        received = [
+            e for p in PROCS for e in run.events(p) if isinstance(e, ReceiveEvent)
+        ]
+        assert received
+        assert all(
+            e.message.kind.startswith(CORRUPT_KIND_PREFIX) for e in received
+        )
+        assert run.meta["faults"]["corruptions"] >= len(received)
+
+    def test_total_drop_silences_the_network(self):
+        plan = FaultPlan(channel=ChannelFaults(drop_prob=1.0))
+        run = run_of(make_spec(plan=plan, max_ticks=300))
+        assert not any(
+            isinstance(e, ReceiveEvent) for p in PROCS for e in run.events(p)
+        )
+        assert run.meta["faults"]["extra_drops"] > 0
+        assert run.meta["dropped"] >= run.meta["faults"]["extra_drops"]
+
+
+class TestStalls:
+    def test_stall_window_freezes_the_process(self):
+        plan = FaultPlan(stalls=(("p2", 1, 15),))
+        run = run_of(make_spec(plan=plan))
+        assert run.meta["faults"]["stalled_ticks"] >= 1
+        assert not any(1 <= tick < 15 for tick, _ in run.timeline("p2"))
+        # The other processes were not stalled.
+        assert any(1 <= tick < 15 for tick, _ in run.timeline("p1"))
+
+
+class TestCacheability:
+    def test_plan_pickles_and_changes_the_spec_digest(self):
+        plan = FaultPlan(seed=1, channel=ChannelFaults(drop_prob=0.5))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        clean = spec_digest(make_spec())
+        faulted = spec_digest(
+            make_spec().with_(config=ExecutionConfig(fault_plan=plan))
+        )
+        assert clean is not None and faulted is not None
+        assert clean != faulted
+
+
+class TestValidation:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            ChannelFaults(drop_prob=1.5)
+        with pytest.raises(ValueError, match="max_extra_delay"):
+            ChannelFaults(max_extra_delay=0)
+        with pytest.raises(ValueError, match="omission_prob"):
+            DetectorFaults(omission_prob=-0.1)
+        with pytest.raises(ValueError, match="lie_prob"):
+            DetectorFaults(lie_prob=2.0)
+
+    def test_stall_windows_validated(self):
+        with pytest.raises(ValueError, match="start < end"):
+            FaultPlan(stalls=(("p1", 5, 5),))
+        with pytest.raises(ValueError, match="start < end"):
+            FaultPlan(stalls=(("p1", 0, 3),))
+
+    def test_with_sweeps_fields(self):
+        plan = FaultPlan(seed=1)
+        assert plan.with_(seed=9).seed == 9
+        assert plan.with_(seed=9) != plan
