@@ -7,7 +7,6 @@ prints its measured rows so a benchmark run doubles as a reproduction
 report.
 """
 
-import pytest
 
 from repro.harness.results import render_result
 

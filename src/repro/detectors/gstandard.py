@@ -22,7 +22,6 @@ from typing import Callable
 from repro.detectors.base import DetectorOracle, GroundTruthView
 from repro.model.events import ProcessId, StandardSuspicion, Suspicion
 from repro.model.history import History
-from repro.model.run import Run
 
 
 @dataclass(frozen=True, slots=True)

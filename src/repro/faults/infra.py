@@ -90,7 +90,9 @@ _ACTIVE: InfraFaultPlan | None = None
 
 def install_infra_faults(plan: InfraFaultPlan | None) -> None:
     """Install (or clear, with None) the process-wide infra fault plan."""
-    global _ACTIVE
+    # driver-side singleton: workers receive the plan via env vars, never
+    # by mutating this module in a worker path
+    global _ACTIVE  # repro: lint-ok[POOL002]
     _ACTIVE = plan
 
 

@@ -5,6 +5,7 @@ Usage::
     python -m repro.harness [--list] [--backend serial|process[:N]] [IDS...]
     python -m repro.harness explore [--n N] [--t T] [--horizon T] [...]
     python -m repro.harness chaos
+    python -m repro.harness lint [PATHS...] [--format json] [--select RULE,...]
 
 With no ids, every registered experiment runs.  ``--backend process``
 executes the ensemble sweeps inside each experiment on a worker-process
@@ -22,6 +23,10 @@ cache entry) and exits 0 iff the batch completes *degraded* -- no
 exception, the casualties and recoveries as structured
 :class:`~repro.runtime.report.FailedRun` records, and a usable System
 over the survivors.
+
+The ``lint`` subcommand runs the determinism / pool-safety /
+model-invariant static analyzer (:mod:`repro.lint`) over ``src/repro``
+(or the given paths) and exits 1 on any error-severity finding.
 """
 
 from __future__ import annotations
@@ -247,6 +252,10 @@ def main(argv: list[str]) -> int:
         return _explore_main(args[1:])
     if args and args[0] == "chaos":
         return _chaos_main(args[1:])
+    if args and args[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(args[1:])
     if "--list" in args:
         print(registry.describe())
         return 0

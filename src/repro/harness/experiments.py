@@ -10,13 +10,6 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.core.consensus import (
-    RotatingCoordinatorConsensus,
-    StrongConsensusProcess,
-    check_consensus,
-    consensus_factory,
-    consensus_outcome,
-)
 from repro.core.properties import (
     actions_in,
     dc1,
@@ -36,7 +29,7 @@ from repro.core.simulation_theorem import (
     simulate_perfect_detectors,
 )
 from repro.detectors.atd import AtdRotatingOracle
-from repro.detectors.base import NoDetector, suspicion_history
+from repro.detectors.base import suspicion_history
 from repro.detectors.conversions import (
     convert_impermanent_to_permanent,
     convert_weak_to_strong,
@@ -52,11 +45,9 @@ from repro.detectors.properties import (
     strong_accuracy,
     strong_completeness,
     weak_accuracy,
-    weak_completeness,
 )
 from repro.detectors.standard import (
     ImpermanentWeakOracle,
-    LyingOracle,
     NoisyStrongOracle,
     PerfectOracle,
     ScriptedFalseOracle,
@@ -67,7 +58,6 @@ from repro.knowledge import ModelChecker
 from repro.knowledge.paper_formulas import (
     dc1_formula,
     dc2_formula,
-    dc2_prime_formula,
     dc3_formula,
     prop_3_5,
 )
@@ -726,7 +716,7 @@ def _a4_counterexample_system() -> tuple[System, dict]:
 
 def run_e12(n: int = 4) -> ExperimentResult:
     """Section 3's A4 discussion: the non-FIP counterexample."""
-    from repro.knowledge import Crashed, Knows, Not, Or, Sent
+    from repro.knowledge import Crashed, Knows, Or, Sent
     from repro.knowledge.analysis import a4_instance_holds
     from repro.model.run import Point
 

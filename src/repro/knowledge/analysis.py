@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from repro.knowledge.formulas import Formula, Implies, Knows, Not, Or, Box
 from repro.knowledge.semantics import ModelChecker
-from repro.model.events import CrashEvent, ProcessId
+from repro.model.events import ProcessId
+from repro.model.history import History
 from repro.model.run import Point
-from repro.model.system import System
 
 
 def is_local(checker: ModelChecker, formula: Formula, process: ProcessId) -> bool:
@@ -44,7 +44,7 @@ def insensitive_to_failure(
     # One representative point per ~_process class; the kernel's class
     # table enumerates histories in first-occurrence order, so this is
     # the same scan as before minus the per-point re-hashing.
-    seen: dict = {
+    seen: dict[History, Point] = {
         cls.history: cls.representative for cls in system.classes(process)
     }
     for history, point in seen.items():
@@ -86,8 +86,9 @@ def a4_instance_holds(
     """
     system = checker.system
     run, m = point.run, point.time
-    # Precondition: nobody in the group knows phi here.
-    for q in group:
+    # Precondition: nobody in the group knows phi here.  Sorted so the
+    # process named in the error does not depend on set-iteration order.
+    for q in sorted(group):
         if checker.holds(Knows(q, formula), point):
             raise ValueError(f"{q} knows the formula at the given point")
     for candidate_run in system:

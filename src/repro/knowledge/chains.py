@@ -31,9 +31,15 @@ m_p *delivers* knowledge of phi.
 from __future__ import annotations
 
 from collections import defaultdict, deque
+from typing import TYPE_CHECKING, Callable, Iterable
 
-from repro.model.events import ProcessId, ReceiveEvent, SendEvent
+from repro.model.events import Message, ProcessId, ReceiveEvent, SendEvent
 from repro.model.run import Run
+
+if TYPE_CHECKING:  # avoid an import cycle (semantics imports nothing here,
+    # but formulas <- semantics <- chains would otherwise be circular at runtime)
+    from repro.knowledge.formulas import Formula
+    from repro.knowledge.semantics import ModelChecker
 
 
 def match_sends_to_receives(
@@ -43,7 +49,7 @@ def match_sends_to_receives(
     (sender, time): the earliest unmatched compatible send (FIFO per
     message value, which R3 makes well-defined)."""
     # Collect sends per (sender, receiver, message), in time order.
-    sends: dict[tuple, deque[int]] = defaultdict(deque)
+    sends: dict[tuple[ProcessId, ProcessId, Message], deque[int]] = defaultdict(deque)
     for p in run.processes:
         for t, event in run.timeline(p):
             if isinstance(event, SendEvent):
@@ -150,12 +156,12 @@ def chain_closure(
 
 
 def knowledge_gain_violations(
-    system,
-    checker,
-    fact,
+    system: "Iterable[Run]",
+    checker: "ModelChecker",
+    fact: "Formula",
     owner: ProcessId,
-    first_true,
-) -> list[tuple]:
+    first_true: Callable[[Run], int | None],
+) -> list[tuple[int, ProcessId, int]]:
     """Check the knowledge-gain principle over a system.
 
     ``fact`` is a formula stable and local to ``owner``; ``first_true``
@@ -167,7 +173,7 @@ def knowledge_gain_violations(
     from repro.knowledge.formulas import Knows
     from repro.model.run import Point
 
-    violations = []
+    violations: list[tuple[int, ProcessId, int]] = []
     for i, run in enumerate(system):
         m0 = first_true(run)
         if m0 is None:

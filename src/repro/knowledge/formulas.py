@@ -22,7 +22,7 @@ Each node advertises two static attributes the model checker exploits:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, Optional
 
 from repro.model.events import ActionId, Message, ProcessId
 from repro.model.run import Point

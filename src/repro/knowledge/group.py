@@ -24,7 +24,7 @@ halves on generated ensembles.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.knowledge.formulas import And, Formula, Knows
 from repro.knowledge.semantics import ModelChecker
@@ -47,7 +47,7 @@ def e_iterated(group: Sequence[ProcessId], formula: Formula, depth: int) -> Form
     return current
 
 
-def _iter_bits(bits: int):
+def _iter_bits(bits: int) -> Iterator[int]:
     """Yield the set bit positions of a Python-int bitset."""
     while bits:
         low = bits & -bits
@@ -92,13 +92,14 @@ class GroupChecker:
         self.system.stats.ck_fixpoint_iterations += 1
         if not class_bits:
             return (1 << self.system.point_count) - 1  # empty conjunction
-        result = None
+        result: int | None = None
         for per_process in class_bits:
             keep = 0
             for bits in per_process:
                 if bits & current == bits:
                     keep |= bits
             result = keep if result is None else result & keep
+        assert result is not None  # class_bits is non-empty here
         return result
 
     # -- distributed knowledge -------------------------------------------------

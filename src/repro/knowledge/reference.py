@@ -107,7 +107,10 @@ def naive_common_knowledge_points(
     changed = True
     while changed:
         changed = False
-        for i, m in list(current):
+        # sorted(): the fixpoint is order-independent, but the *work* per
+        # round is not — sorting keeps the reference kernel's query
+        # counters replayable for the differential tests.
+        for i, m in sorted(current):
             point = Point(runs[i], m)
             for p in system.processes:
                 if p not in group:

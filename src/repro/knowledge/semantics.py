@@ -42,6 +42,8 @@ from repro.knowledge.formulas import (
     Sent,
     _Const,
 )
+from repro.model.events import ProcessId
+from repro.model.history import History
 from repro.model.run import Point, Run
 from repro.model.system import System
 
@@ -51,9 +53,9 @@ class ModelChecker:
 
     def __init__(self, system: System) -> None:
         self.system = system
-        self._local_cache: dict[tuple, bool] = {}
-        self._point_cache: dict[tuple, bool] = {}
-        self._temporal_cache: dict[tuple, list[bool]] = {}
+        self._local_cache: dict[tuple[Formula, ProcessId, History], bool] = {}
+        self._point_cache: dict[tuple[Formula, int, int], bool] = {}
+        self._temporal_cache: dict[tuple[Formula, int], list[bool]] = {}
         self._run_ids = {run: i for i, run in enumerate(system.runs)}
         # Foreign runs (not in the system) get identity-based negative
         # ids.  The dict is keyed by id(run) and the list pins a strong
@@ -101,7 +103,9 @@ class ModelChecker:
     def _run_id(self, run: Run) -> int:
         rid = self._run_ids.get(run)
         if rid is None:  # a foreign run: identity-keyed, reference-pinned
-            key = id(run)
+            # audited: _foreign_refs pins each keyed run for the checker's
+            # lifetime, so its id() can never be recycled to another object
+            key = id(run)  # repro: lint-ok[DET005]
             rid = self._foreign_ids.get(key)
             if rid is None:
                 rid = -1 - len(self._foreign_ids)
@@ -140,7 +144,7 @@ class ModelChecker:
             self.stats.point_cache_hits += 1
         return cached
 
-    def _temporal_vector(self, formula: Formula, run: Run) -> list[bool]:
+    def _temporal_vector(self, formula: Box | Diamond, run: Run) -> list[bool]:
         key = (formula, self._run_id(run))
         vector = self._temporal_cache.get(key)
         if vector is not None:

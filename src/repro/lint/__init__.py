@@ -1,0 +1,29 @@
+"""repro.lint — determinism & pool-safety static analysis.
+
+AST-based (stdlib only) rules that enforce, *before a run executes*,
+the invariants the rest of the stack enforces dynamically: replay
+determinism (DET*), process-pool picklability (POOL*), and model-object
+immutability (INV*).  See DESIGN.md §11 for the rule catalog.
+
+Entry points: ``python -m repro.harness lint`` or
+:func:`repro.lint.engine.lint_paths`.
+"""
+
+from .context import ModuleUnderLint, Suppression
+from .engine import LintReport, lint_file, lint_paths
+from .findings import LintFinding, Severity
+from .registry import Rule, all_rules, known_rule_ids, register
+
+__all__ = [
+    "LintFinding",
+    "LintReport",
+    "ModuleUnderLint",
+    "Rule",
+    "Severity",
+    "Suppression",
+    "all_rules",
+    "known_rule_ids",
+    "lint_file",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.lint`` as a shortcut for ``harness lint``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""Per-file analysis context shared by every rule.
+
+One :class:`ModuleUnderLint` is built per file: the parsed AST, the
+dotted module name (derived from the path, or overridden by a
+``# repro: lint-module[...]`` comment so fixture snippets can pretend to
+live anywhere), the suppression table parsed from
+``# repro: lint-ok[RULE,...]`` comments, and the source ranges of
+classes implementing the Protocol interface (determinism rules apply
+inside those regardless of the module's package).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: suppression comment: ``# repro: lint-ok[DET001]`` or ``[DET001,POOL002]``
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ok\[([A-Za-z0-9_,\s]*)\]")
+#: malformed variant (``lint-ok`` without a bracketed rule list)
+_SUPPRESS_LOOSE_RE = re.compile(r"#\s*repro:\s*lint-ok(?!\[)")
+#: fixture module override: ``# repro: lint-module[repro.sim.fake]``
+_MODULE_RE = re.compile(r"#\s*repro:\s*lint-module\[([A-Za-z0-9_.]+)\]")
+
+#: base-class names marking "this class implements the Protocol
+#: interface"; subclass chains in one file are followed transitively.
+PROTOCOL_BASE_NAMES = frozenset(
+    {"ProtocolProcess", "_CoordinationBase", "DetectorOracle"}
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``lint-ok`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    used: bool = field(default=False, compare=False)
+
+
+def module_name_for_path(path: Path) -> str | None:
+    """The dotted module name, derived from a ``repro`` package root.
+
+    Walks up the path looking for the top-level ``repro`` directory; a
+    file outside any ``repro`` tree (e.g. a test fixture) gets ``None``
+    and must rely on a ``lint-module`` override to enter package-scoped
+    rules.
+    """
+    parts = list(path.resolve().parts)
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            dotted = parts[i:-1] + [path.stem]
+            if path.stem == "__init__":
+                dotted = parts[i:-1]
+            return ".".join(dotted)
+    return None
+
+
+class ModuleUnderLint:
+    """Everything the rules need to know about one source file."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions: dict[int, Suppression] = {}
+        self.malformed_suppressions: list[int] = []
+        self.module: str | None = module_name_for_path(path)
+        self._scan_comments()
+        self.protocol_class_ranges = self._find_protocol_classes()
+
+    # -- comments -----------------------------------------------------------
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+            comments = []
+        for lineno, text in comments:
+            override = _MODULE_RE.search(text)
+            if override:
+                self.module = override.group(1)
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                rules = frozenset(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+                if not rules:
+                    self.malformed_suppressions.append(lineno)
+                    continue
+                # A comment alone on its line covers the next line; a
+                # trailing comment covers its own line.
+                stripped = self.lines[lineno - 1].strip() if lineno <= len(self.lines) else ""
+                target = lineno + 1 if stripped.startswith("#") else lineno
+                self.suppressions[target] = Suppression(target, rules)
+            elif _SUPPRESS_LOOSE_RE.search(text):
+                self.malformed_suppressions.append(lineno)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True (and marks the suppression used) when ``rule`` is waived
+        at ``line`` by a ``lint-ok`` comment."""
+        entry = self.suppressions.get(line)
+        if entry is not None and rule in entry.rules:
+            entry.used = True
+            return True
+        return False
+
+    # -- package / protocol scope -------------------------------------------
+
+    def in_packages(self, packages: tuple[str, ...]) -> bool:
+        """Is this module inside any of the dotted package prefixes?"""
+        if self.module is None:
+            return False
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def _find_protocol_classes(self) -> tuple[tuple[int, int], ...]:
+        """(first, last) line ranges of Protocol-interface classes."""
+        protocol_names = set(PROTOCOL_BASE_NAMES)
+        ranges: list[tuple[int, int]] = []
+        # Two passes so subclasses of in-file protocol classes count too.
+        for _ in range(2):
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for base in node.bases:
+                    name = _base_name(base)
+                    if name in protocol_names:
+                        protocol_names.add(node.name)
+                        span = (node.lineno, node.end_lineno or node.lineno)
+                        if span not in ranges:
+                            ranges.append(span)
+                        break
+        return tuple(sorted(ranges))
+
+    def in_protocol_class(self, node: ast.AST) -> bool:
+        """Is the node's line inside a Protocol-interface class body?"""
+        line = getattr(node, "lineno", None)
+        if line is None:
+            return False
+        return any(first <= line <= last for first, last in self.protocol_class_ranges)
+
+
+def _base_name(base: ast.expr) -> str | None:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None

@@ -1,0 +1,117 @@
+"""Lint engine: walk files, run rules, apply suppressions, report.
+
+The engine is deterministic end to end: files are discovered in sorted
+order, findings are sorted by ``(file, line, col, rule)``, and the JSON
+form has stable key order — so CI diffs and golden tests are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from .context import ModuleUnderLint
+from .findings import LintFinding, Severity
+from .registry import Rule, select_rules
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: tuple[LintFinding, ...]
+    files_scanned: int
+    parse_errors: tuple[str, ...] = field(default=())
+
+    @property
+    def errors(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def failed(self) -> bool:
+        """Exit-1 condition: any ERROR finding or unparseable file."""
+        return bool(self.errors) or bool(self.parse_errors)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "failed": self.failed,
+            "counts": self.counts(),
+            "parse_errors": list(self.parse_errors),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """All ``.py`` files under the given paths, in sorted order."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, rules: tuple[Rule, ...]
+) -> tuple[list[LintFinding], str | None]:
+    """Lint one file; returns (findings, parse-error-or-None)."""
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        mod = ModuleUnderLint(path, display, source)
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        return [], f"{display}: {exc}"
+    findings: list[LintFinding] = []
+    for rule in rules:
+        for finding in rule.check(mod):
+            if not mod.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return findings, None
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    select: Callable[[str], bool] | None = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` with the selected rules."""
+    rules = select_rules(select)
+    findings: list[LintFinding] = []
+    parse_errors: list[str] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        file_findings, parse_error = lint_file(path, rules)
+        findings.extend(file_findings)
+        if parse_error is not None:
+            parse_errors.append(parse_error)
+    findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    return LintReport(
+        findings=tuple(findings),
+        files_scanned=files,
+        parse_errors=tuple(parse_errors),
+    )

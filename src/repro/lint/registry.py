@@ -1,0 +1,88 @@
+"""Pluggable rule registry.
+
+A rule is a named, documented check over one :class:`ModuleUnderLint`.
+Rules self-register at import time via :func:`register`; the engine and
+CLI discover them through :func:`all_rules` / :func:`select_rules`, so
+adding a rule is one subclass in ``repro.lint.rules`` with no wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .context import ModuleUnderLint
+from .findings import LintFinding, Severity
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding raw findings; the engine applies suppression comments and
+    severity filtering afterwards.
+    """
+
+    #: unique rule id, e.g. ``"DET001"``
+    id: str = ""
+    #: one-line summary shown by ``--list-rules``
+    summary: str = ""
+    #: default severity (the engine reports it on each finding)
+    severity: Severity = Severity.ERROR
+    #: general remediation attached to each finding
+    hint: str = ""
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(
+        self, mod: ModuleUnderLint, line: int, col: int, message: str
+    ) -> LintFinding:
+        """Build a finding with this rule's id/severity/hint filled in."""
+        return LintFinding(
+            file=mod.display_path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            hint=self.hint,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by id."""
+    _ensure_loaded()
+    return tuple(_RULES[rid] for rid in sorted(_RULES))
+
+
+def known_rule_ids() -> frozenset[str]:
+    _ensure_loaded()
+    return frozenset(_RULES)
+
+
+def select_rules(select: Callable[[str], bool] | None = None) -> tuple[Rule, ...]:
+    """Rules passing the ``select`` predicate (all rules when ``None``)."""
+    rules = all_rules()
+    if select is None:
+        return rules
+    return tuple(rule for rule in rules if select(rule.id))
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package triggers @register side effects; the
+    # local import breaks the registry <-> rules import cycle.
+    from . import rules  # noqa: F401

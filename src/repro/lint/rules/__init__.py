@@ -1,0 +1,5 @@
+"""Rule implementations; importing this package registers every rule."""
+
+from . import determinism, invariants, meta, poolsafety
+
+__all__ = ["determinism", "invariants", "meta", "poolsafety"]

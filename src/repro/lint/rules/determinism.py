@@ -1,0 +1,362 @@
+"""Determinism rules (DET001–DET005).
+
+Replay, the content-addressed run cache, and the explorer's coordinate
+replay all assume that a (protocol, seed, crash plan) triple yields a
+bit-identical run.  Anything that injects ambient state — the global
+RNG, the wall clock, OS entropy, set iteration order, or object
+identity — silently breaks that contract, which in turn corrupts the
+run set the epistemic kernel evaluates ``Knows``/``C_G`` over.
+
+Scope: these rules fire in the deterministic packages
+(:data:`DET_PACKAGES`) and inside any class implementing the Protocol
+interface wherever it lives.  ``repro.runtime``/``repro.faults``/
+``repro.harness`` are driver-side and exempt (they may time out, retry,
+and log wall-clock freely).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleUnderLint
+from ..findings import LintFinding
+from ..registry import Rule, register
+
+#: packages whose entire contents must be deterministic
+DET_PACKAGES: tuple[str, ...] = (
+    "repro.core",
+    "repro.sim",
+    "repro.model",
+    "repro.knowledge",
+    "repro.explore",
+    "repro.detectors",
+    "repro.workloads",
+)
+
+#: module roots whose imports we track for alias-aware call resolution
+_TRACKED_ROOTS = frozenset({"random", "time", "datetime", "os", "uuid", "secrets"})
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+#: builtins that consume an iterable order-insensitively (or sort it)
+_ORDER_SAFE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to dotted origins for the tracked modules.
+
+    ``import random as r`` -> ``{"r": "random"}``;
+    ``from random import shuffle as s`` -> ``{"s": "random.shuffle"}``;
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _TRACKED_ROOTS:
+                    aliases[alias.asname or root] = (
+                        alias.name if alias.asname else root
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in _TRACKED_ROOTS:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    return aliases
+
+
+def _resolve(aliases: dict[str, str], node: ast.expr) -> str | None:
+    """Dotted origin of an attribute chain, via the import alias map."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    base = aliases.get(cur.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _scoped(mod: ModuleUnderLint, node: ast.AST) -> bool:
+    """Is this node inside the determinism scope?"""
+    return mod.in_packages(DET_PACKAGES) or mod.in_protocol_class(node)
+
+
+def _iter_scoped_calls(
+    mod: ModuleUnderLint,
+) -> Iterator[tuple[ast.Call, dict[str, str]]]:
+    aliases = _import_aliases(mod.tree)
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Call) and _scoped(mod, node):
+            yield node, aliases
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET001: the module-level ``random.*`` API shares one global,
+    ambiently-seeded RNG; two runs interleaved in one process perturb
+    each other's streams and replay diverges."""
+
+    id = "DET001"
+    summary = "call into the global random module (unseeded RNG)"
+    hint = (
+        "draw from a seeded random.Random instance carried by the run "
+        "(e.g. Executor.rng), never the random module's global functions"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        for call, aliases in _iter_scoped_calls(mod):
+            origin = _resolve(aliases, call.func)
+            if origin is None or not origin.startswith("random."):
+                continue
+            leaf = origin.split(".", 1)[1]
+            if leaf == "SystemRandom" or "." in leaf:
+                continue  # DET003 territory / method on an instance path
+            if leaf == "Random":
+                if not call.args and not call.keywords:
+                    yield self.finding(
+                        mod,
+                        call.lineno,
+                        call.col_offset,
+                        "random.Random() constructed without a seed",
+                    )
+                continue
+            yield self.finding(
+                mod,
+                call.lineno,
+                call.col_offset,
+                f"call to global random.{leaf}()",
+            )
+
+
+@register
+class WallClockRule(Rule):
+    """DET002: wall-clock reads differ across replays and across
+    workers, so any value derived from them poisons run content and
+    cache digests.  ``time.perf_counter``/``time.monotonic`` are left
+    alone: the executor's cooperative deadline uses them and they never
+    enter run content."""
+
+    id = "DET002"
+    summary = "wall-clock read (time.time / datetime.now / ...)"
+    hint = (
+        "model time with the simulated tick counter; wall-clock values "
+        "must never reach run content (driver-side timing belongs in "
+        "repro.runtime)"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        for call, aliases in _iter_scoped_calls(mod):
+            origin = _resolve(aliases, call.func)
+            if origin in _WALL_CLOCK:
+                yield self.finding(
+                    mod,
+                    call.lineno,
+                    call.col_offset,
+                    f"wall-clock call {origin}()",
+                )
+
+
+@register
+class AmbientEntropyRule(Rule):
+    """DET003: OS entropy (``os.urandom``, ``uuid4``, ``secrets``) is
+    unreplayable by construction — there is no seed to record."""
+
+    id = "DET003"
+    summary = "ambient entropy source (os.urandom / uuid4 / secrets)"
+    hint = (
+        "derive identifiers and randomness from the run's seeded RNG or "
+        "from content hashes of deterministic state"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        for call, aliases in _iter_scoped_calls(mod):
+            origin = _resolve(aliases, call.func)
+            if origin is None:
+                continue
+            if origin in _ENTROPY or origin.startswith("secrets."):
+                yield self.finding(
+                    mod,
+                    call.lineno,
+                    call.col_offset,
+                    f"ambient entropy call {origin}()",
+                )
+
+
+class _SetishIndex:
+    """Best-effort inference of which expressions/names are bare sets."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.set_names: set[str] = set()
+        unset: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if self._is_setish_expr(node.value):
+                            self.set_names.add(target.id)
+                        else:
+                            unset.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if self._is_set_annotation(node.annotation):
+                    self.set_names.add(node.target.id)
+                else:
+                    unset.add(node.target.id)
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                if self._is_set_annotation(node.annotation):
+                    self.set_names.add(node.arg)
+        # A name ever bound to a non-set value is ambiguous: stay quiet.
+        self.set_names -= unset
+
+    @staticmethod
+    def _is_setish_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"set", "frozenset"}
+        return False
+
+    @staticmethod
+    def _is_set_annotation(node: ast.expr) -> bool:
+        target = node
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Name):
+            return target.id in {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+        if isinstance(target, ast.Attribute):
+            return target.attr in {"Set", "FrozenSet", "AbstractSet"}
+        return False
+
+    def is_setish(self, node: ast.expr) -> bool:
+        if self._is_setish_expr(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in self.set_names
+
+
+@register
+class SetIterationRule(Rule):
+    """DET004: set iteration order depends on insertion history and the
+    per-process hash state, so iterating a bare set leaks
+    nondeterministic order into traces, digests, and message schedules.
+    Order-insensitive consumers (``sorted``/``min``/``len``/...) are
+    exempt."""
+
+    id = "DET004"
+    summary = "iteration over a bare set (nondeterministic order)"
+    hint = (
+        "wrap the set in sorted(...) before iterating, or keep the "
+        "collection as a list/tuple when order matters"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        index = _SetishIndex(mod.tree)
+        safe_iters: set[int] = set()
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SAFE_CALLS
+            ):
+                for arg in node.args:
+                    safe_iters.add(id(arg))
+                    # ``sum(f(x) for x in s)`` consumes the *comprehension*
+                    # order-insensitively, so its generators are safe too
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                        for gen in arg.generators:
+                            safe_iters.add(id(gen.iter))
+
+        def flag(expr: ast.expr, what: str) -> Iterator[LintFinding]:
+            if id(expr) in safe_iters:
+                return
+            if index.is_setish(expr):
+                yield self.finding(
+                    mod,
+                    expr.lineno,
+                    expr.col_offset,
+                    f"{what} iterates a bare set in nondeterministic order",
+                )
+
+        for node in ast.walk(mod.tree):
+            if not _scoped(mod, node):
+                continue
+            if isinstance(node, ast.For):
+                yield from flag(node.iter, "for loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield from flag(gen.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id in {
+                    "list",
+                    "tuple",
+                }:
+                    for arg in node.args:
+                        yield from flag(arg, f"{node.func.id}()")
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                ):
+                    for arg in node.args:
+                        yield from flag(arg, "str.join()")
+
+
+@register
+class IdentityKeyRule(Rule):
+    """DET005: ``id()`` values are reused after garbage collection and
+    differ across processes, so identity-keyed state aliases unrelated
+    objects and never survives pickling.  Every use in deterministic
+    code needs an explicit pinning argument (see
+    ``ModelChecker._foreign_refs``) recorded in a suppression."""
+
+    id = "DET005"
+    summary = "id()-derived key or comparison"
+    hint = (
+        "key by value (or an interned canonical object); if identity "
+        "keying is required, pin a strong reference for the key's "
+        "lifetime and document it with a lint-ok suppression"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and _scoped(mod, node)
+            ):
+                yield self.finding(
+                    mod,
+                    node.lineno,
+                    node.col_offset,
+                    "id()-keyed state in deterministic code",
+                )

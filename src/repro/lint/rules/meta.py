@@ -1,0 +1,44 @@
+"""Suppression-hygiene rule (LNT001).
+
+Suppressions are load-bearing documentation: a typo'd rule id silently
+waives nothing while looking like it waives something.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import ModuleUnderLint
+from ..findings import LintFinding
+from ..registry import Rule, known_rule_ids, register
+
+
+@register
+class SuppressionHygieneRule(Rule):
+    """LNT001: malformed ``lint-ok`` comments and unknown rule ids."""
+
+    id = "LNT001"
+    summary = "malformed or unknown lint-ok suppression"
+    hint = (
+        "use '# repro: lint-ok[RULE1,RULE2]' with ids from "
+        "'harness lint --list-rules'"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        for line in mod.malformed_suppressions:
+            yield self.finding(
+                mod,
+                line,
+                0,
+                "malformed suppression comment (expected "
+                "'# repro: lint-ok[RULE,...]')",
+            )
+        known = known_rule_ids()
+        for entry in mod.suppressions.values():
+            for rule_id in sorted(entry.rules - known):
+                yield self.finding(
+                    mod,
+                    entry.line,
+                    0,
+                    f"suppression names unknown rule {rule_id!r}",
+                )

@@ -24,7 +24,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.knowledge.chains import match_sends_to_receives
-from repro.model.events import ProcessId, ReceiveEvent, SendEvent
+from repro.model.events import ProcessId, ReceiveEvent
 from repro.model.run import Run
 
 #: A node is (process, tick): by R2 at most one event per process-tick.
@@ -52,7 +52,7 @@ def happens_before(run: Run, a: Node, b: Node) -> bool:
     graph = causal_graph(run)
     if a not in graph or b not in graph:
         raise KeyError(f"no event at {a!r} or {b!r}")
-    return a != b and nx.has_path(graph, a, b)
+    return a != b and bool(nx.has_path(graph, a, b))
 
 
 def concurrent(run: Run, a: Node, b: Node) -> bool:
@@ -62,7 +62,7 @@ def concurrent(run: Run, a: Node, b: Node) -> bool:
         raise KeyError(f"no event at {a!r} or {b!r}")
     if a == b:
         return False
-    return not nx.has_path(graph, a, b) and not nx.has_path(graph, b, a)
+    return not bool(nx.has_path(graph, a, b)) and not bool(nx.has_path(graph, b, a))
 
 
 def is_consistent_cut(run: Run, frontier: dict[ProcessId, int]) -> bool:

@@ -17,13 +17,15 @@ related histories terminate at the shared spine).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Type, TypeVar
+from typing import Callable, Iterable, Iterator, Mapping, Type, TypeVar, overload
 
 from repro.model.events import (
+    ActionId,
     CrashEvent,
     DoEvent,
     Event,
     InitEvent,
+    Message,
     ProcessId,
     ReceiveEvent,
     SendEvent,
@@ -84,7 +86,9 @@ class History:
         """Events in reverse order."""
         node: History | None = self
         while node is not None and node._len:
-            yield node._event
+            event = node._event
+            assert event is not None  # _len > 0 implies a stored event
+            yield event
             node = node._parent
 
     @property
@@ -95,7 +99,13 @@ class History:
     def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> Event: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "History": ...
+
+    def __getitem__(self, index: int | slice) -> "Event | History":
         if isinstance(index, slice):
             return History(self.events[index])
         return self.events[index]
@@ -153,7 +163,9 @@ class History:
             return EMPTY_HISTORY
         node: History = self
         while node._len > length:
-            node = node._parent
+            parent = node._parent
+            assert parent is not None  # _len > length >= 1 implies a parent
+            node = parent
         return node
 
     def events_of_type(self, event_type: Type[E]) -> Iterator[E]:
@@ -176,7 +188,7 @@ class History:
 
     def index_of(self, event: Event) -> int | None:
         """Index of the first occurrence of ``event``, or None."""
-        found = None
+        found: int | None = None
         index = self._len - 1
         for e in self._walk_back():
             if e == event:
@@ -193,19 +205,19 @@ class History:
 
     # -- paper-specific helpers ---------------------------------------------
 
-    def did(self, action) -> bool:
+    def did(self, action: ActionId) -> bool:
         """True iff ``do(action)`` appears in this history."""
         return any(
             isinstance(e, DoEvent) and e.action == action for e in self._walk_back()
         )
 
-    def inited(self, action) -> bool:
+    def inited(self, action: ActionId) -> bool:
         """True iff ``init(action)`` appears in this history."""
         return any(
             isinstance(e, InitEvent) and e.action == action for e in self._walk_back()
         )
 
-    def sent(self, receiver: ProcessId, message=None) -> bool:
+    def sent(self, receiver: ProcessId, message: Message | None = None) -> bool:
         """True iff this process sent (any message, or ``message``) to ``receiver``."""
         return any(
             isinstance(e, SendEvent)
@@ -214,7 +226,7 @@ class History:
             for e in self._walk_back()
         )
 
-    def received(self, sender: ProcessId, message=None) -> bool:
+    def received(self, sender: ProcessId, message: Message | None = None) -> bool:
         """True iff this process received (any message, or ``message``) from ``sender``."""
         return any(
             isinstance(e, ReceiveEvent)

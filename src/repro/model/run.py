@@ -21,12 +21,14 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.model.events import (
+    ActionId,
     CrashEvent,
     Event,
     InitEvent,
+    Message,
     ProcessId,
     ReceiveEvent,
     SendEvent,
@@ -64,7 +66,7 @@ class Run:
         processes: Iterable[ProcessId],
         timelines: Mapping[ProcessId, Iterable[tuple[int, Event]]],
         duration: int,
-        meta: dict | None = None,
+        meta: dict[str, Any] | None = None,
     ) -> None:
         self._processes: tuple[ProcessId, ...] = tuple(processes)
         self._timelines: dict[ProcessId, Timeline] = {
@@ -73,7 +75,7 @@ class Run:
         if duration < 0:
             raise ValueError("duration must be non-negative")
         self._duration = duration
-        self.meta = dict(meta or {})
+        self.meta: dict[str, Any] = dict(meta or {})
         self._hash = hash(
             (
                 self._processes,
@@ -108,7 +110,7 @@ class Run:
 
     def __reduce__(
         self,
-    ) -> tuple[type, tuple[object, ...]]:
+    ) -> tuple[type["Run"], tuple[object, ...]]:
         # Runs cross process boundaries (repro.runtime's pool backend
         # returns them from workers); rebuild from the constructor args
         # rather than shipping the derived prefix-history index.
@@ -338,7 +340,7 @@ def validate_run(
     # requires that the number of sends of msg by p to q at times <= t is
     # at least the number of receives so far (counting multiplicity).
     for q in run.processes:
-        recv_counts: dict[tuple, int] = {}
+        recv_counts: dict[tuple[ProcessId, ProcessId, Message], int] = {}
         for t, event in run.timeline(q):
             if not isinstance(event, ReceiveEvent):
                 continue
@@ -363,7 +365,7 @@ def validate_run(
                 )
 
     # Init uniqueness (Section 2.4).
-    seen_inits: set = set()
+    seen_inits: set[ActionId] = set()
     for p in run.processes:
         for event in run.events(p):
             if isinstance(event, InitEvent):
@@ -399,7 +401,7 @@ def r5_violations(
     send infinitely often), the receiver never crashed, and the receiver
     never received the message.
     """
-    violations = []
+    violations: list[tuple[ProcessId, ProcessId, object, int]] = []
     for p in run.processes:
         send_counts: dict[tuple[ProcessId, object], list[int]] = {}
         for t, event in run.timeline(p):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 from repro.model.events import (
     CrashEvent,
@@ -29,6 +30,7 @@ from repro.model.events import (
     SendEvent,
     StandardSuspicion,
     SuspectEvent,
+    Suspicion,
 )
 from repro.model.run import Run
 from repro.model.system import System
@@ -39,7 +41,7 @@ FORMAT_VERSION = 1
 # -- value codec ----------------------------------------------------------------
 
 
-def encode_value(value):
+def encode_value(value: object) -> Any:
     """Encode a payload value into JSON-safe tagged form."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
@@ -51,7 +53,7 @@ def encode_value(value):
     raise TypeError(f"cannot serialize payload of type {type(value).__name__}")
 
 
-def decode_value(data):
+def decode_value(data: Any) -> Any:
     """Inverse of :func:`encode_value`."""
     if isinstance(data, dict):
         tag = data.get("__t")
@@ -66,7 +68,7 @@ def decode_value(data):
 # -- event codec -------------------------------------------------------------------
 
 
-def encode_event(event: Event) -> dict:
+def encode_event(event: Event) -> dict[str, Any]:
     """Encode one history event as a JSON-safe dict."""
     if isinstance(event, SendEvent):
         return {
@@ -111,7 +113,7 @@ def encode_event(event: Event) -> dict:
     raise TypeError(f"cannot serialize event {event!r}")  # pragma: no cover
 
 
-def decode_event(data: dict) -> Event:
+def decode_event(data: dict[str, Any]) -> Event:
     """Inverse of :func:`encode_event`."""
     kind = data["e"]
     if kind == "send":
@@ -131,6 +133,7 @@ def decode_event(data: dict) -> Event:
     if kind == "crash":
         return CrashEvent(data["p"])
     if kind == "suspect":
+        report: Suspicion
         if data["r"] == "std":
             report = StandardSuspicion(frozenset(data["suspects"]))
         else:
@@ -142,7 +145,7 @@ def decode_event(data: dict) -> Event:
 # -- run / system -------------------------------------------------------------------
 
 
-def _encode_meta(meta: dict) -> dict:
+def _encode_meta(meta: dict[str, Any]) -> dict[str, Any]:
     """Encode JSON-safe meta entries plus tagged crash plans.
 
     Crash plans are the one structured meta value the analyses read back
@@ -152,7 +155,7 @@ def _encode_meta(meta: dict) -> dict:
     """
     from repro.sim.failures import CrashPlan  # local: model must not need sim
 
-    out = {}
+    out: dict[str, Any] = {}
     for key, value in meta.items():
         if isinstance(value, (type(None), bool, int, float, str)):
             out[key] = value
@@ -167,11 +170,11 @@ def _encode_meta(meta: dict) -> dict:
     return out
 
 
-def _decode_meta(meta: dict) -> dict:
+def _decode_meta(meta: dict[str, Any]) -> dict[str, Any]:
     """Inverse of :func:`_encode_meta` (tolerates pre-tag archives)."""
     from repro.sim.failures import CrashPlan
 
-    out = {}
+    out: dict[str, Any] = {}
     for key, value in meta.items():
         if isinstance(value, dict) and value.get("__t") == "crash_plan":
             out[key] = CrashPlan(tuple((p, t) for p, t in value["crashes"]))
@@ -182,7 +185,7 @@ def _decode_meta(meta: dict) -> dict:
     return out
 
 
-def run_to_dict(run: Run) -> dict:
+def run_to_dict(run: Run) -> dict[str, Any]:
     """Encode a run (timelines, duration, JSON-safe meta)."""
     return {
         "version": FORMAT_VERSION,
@@ -196,7 +199,7 @@ def run_to_dict(run: Run) -> dict:
     }
 
 
-def run_from_dict(data: dict) -> Run:
+def run_from_dict(data: dict[str, Any]) -> Run:
     """Inverse of :func:`run_to_dict`; validates the format version."""
     if data.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported format version {data.get('version')!r}")
@@ -222,7 +225,7 @@ def load_run(path: str | Path) -> Run:
     return run_from_dict(json.loads(Path(path).read_text()))
 
 
-def system_to_dict(system: System) -> dict:
+def system_to_dict(system: System) -> dict[str, Any]:
     """Encode every run of a system."""
     return {
         "version": FORMAT_VERSION,
@@ -230,7 +233,7 @@ def system_to_dict(system: System) -> dict:
     }
 
 
-def system_from_dict(data: dict) -> System:
+def system_from_dict(data: dict[str, Any]) -> System:
     """Inverse of :func:`system_to_dict`."""
     if data.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported format version {data.get('version')!r}")

@@ -443,7 +443,8 @@ def backend_from_name(name: str) -> ExecutionBackend:
 
 def get_default_backend() -> ExecutionBackend:
     """The backend ``run_ensemble`` uses when none is given."""
-    global _default_backend
+    # driver-side singleton: only the dispatching process consults it
+    global _default_backend  # repro: lint-ok[POOL002]
     if _default_backend is None:
         _default_backend = backend_from_name(os.environ.get("REPRO_BACKEND", "serial"))
     return _default_backend
@@ -451,7 +452,8 @@ def get_default_backend() -> ExecutionBackend:
 
 def set_default_backend(backend: ExecutionBackend | str | None) -> None:
     """Override the process-wide default backend (None resets to env/serial)."""
-    global _default_backend
+    # driver-side singleton: only the dispatching process consults it
+    global _default_backend  # repro: lint-ok[POOL002]
     if isinstance(backend, str):
         backend = backend_from_name(backend)
     _default_backend = backend

@@ -291,7 +291,8 @@ _default_cache: RunCache | None = None
 
 def default_run_cache() -> RunCache:
     """The process-wide in-memory cache ``run_ensemble`` uses by default."""
-    global _default_cache
+    # driver-side singleton: workers never consult the default cache
+    global _default_cache  # repro: lint-ok[POOL002]
     if _default_cache is None:
         _default_cache = RunCache()
     return _default_cache
@@ -299,5 +300,6 @@ def default_run_cache() -> RunCache:
 
 def set_default_run_cache(cache: RunCache | None) -> None:
     """Replace the process-wide default cache (None resets to a fresh one)."""
-    global _default_cache
+    # driver-side singleton: workers never consult the default cache
+    global _default_cache  # repro: lint-ok[POOL002]
     _default_cache = cache

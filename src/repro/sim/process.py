@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
 
 from repro.model.events import (
     ActionId,
@@ -30,10 +29,6 @@ from repro.model.events import (
     SendEvent,
     Suspicion,
 )
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.executor import Executor
-
 
 class ProcessEnv:
     """What a protocol may do and observe: its local interface.

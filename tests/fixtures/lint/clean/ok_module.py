@@ -1,0 +1,18 @@
+# repro: lint-module[repro.sim.fixture_clean]
+"""Clean fixture: deterministic, picklable, invariant-respecting code."""
+
+import random
+
+
+class Widget:
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self._draws: list[int] = []
+
+    def draw(self, sides: int) -> int:
+        value = self.rng.randrange(sides)
+        self._draws.append(value)
+        return value
+
+    def trace(self) -> tuple[int, ...]:
+        return tuple(self._draws)

@@ -1,0 +1,22 @@
+# repro: lint-module[repro.sim.fixture_det001]
+"""Known-bad fixture: DET001 unseeded/global randomness."""
+
+import random
+import random as rnd
+from random import shuffle
+from random import randint as roll
+
+
+def pick(items):
+    random.shuffle(items)  # expect: DET001
+    x = random.random()  # expect: DET001
+    y = rnd.randrange(10)  # expect: DET001
+    shuffle(items)  # expect: DET001
+    z = roll(1, 6)  # expect: DET001
+    rng = random.Random()  # expect: DET001
+    return x, y, z, rng
+
+
+def fine(seed):
+    rng = random.Random(seed)  # seeded: not flagged
+    return rng.random()  # method on an instance: not flagged

@@ -1,0 +1,23 @@
+# repro: lint-module[repro.sim.fixture_det002]
+"""Known-bad fixture: DET002 wall-clock reads in deterministic code."""
+
+import time
+import datetime
+from datetime import datetime as dt
+from datetime import date
+
+
+def stamp():
+    a = time.time()  # expect: DET002
+    b = time.time_ns()  # expect: DET002
+    c = datetime.datetime.now()  # expect: DET002
+    d = dt.utcnow()  # expect: DET002
+    e = date.today()  # expect: DET002
+    return a, b, c, d, e
+
+
+def fine():
+    # monotonic/perf_counter are deadline plumbing, never run content
+    start = time.perf_counter()
+    time.sleep(0)
+    return time.monotonic() - start

@@ -1,0 +1,22 @@
+# repro: lint-module[repro.core.fixture_det003]
+"""Known-bad fixture: DET003 ambient entropy sources."""
+
+import os
+import secrets
+import uuid
+import random
+from uuid import uuid4
+
+
+def fresh_ids():
+    a = os.urandom(16)  # expect: DET003
+    b = uuid.uuid4()  # expect: DET003
+    c = uuid4()  # expect: DET003
+    d = uuid.uuid1()  # expect: DET003
+    e = secrets.token_hex(8)  # expect: DET003
+    f = random.SystemRandom()  # expect: DET003
+    return a, b, c, d, e, f
+
+
+def fine():
+    return os.path.join("a", "b"), uuid.UUID(int=0)

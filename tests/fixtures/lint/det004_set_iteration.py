@@ -1,0 +1,25 @@
+# repro: lint-module[repro.model.fixture_det004]
+"""Known-bad fixture: DET004 iteration over bare sets."""
+
+
+def trace_members(members: set[str], extra):
+    out = []
+    for m in members:  # expect: DET004
+        out.append(m)
+    for x in {1, 2, 3}:  # expect: DET004
+        out.append(x)
+    pending = set(extra)
+    names = [n for n in pending]  # expect: DET004
+    order = list(frozenset(extra))  # expect: DET004
+    joined = ",".join({str(x) for x in extra})  # expect: DET004
+    return out, names, order, joined
+
+
+def fine(members: set[str], extra):
+    # order-insensitive consumers and sorted() wrappers are exempt
+    for m in sorted(members):
+        pass
+    total = sum(1 for m in members)
+    biggest = max(members)
+    k = len(set(extra))
+    return total, biggest, k, any(m for m in members)

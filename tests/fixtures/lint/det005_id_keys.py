@@ -1,0 +1,18 @@
+# repro: lint-module[repro.knowledge.fixture_det005]
+"""Known-bad fixture: DET005 identity-keyed state."""
+
+
+class Cache:
+    def __init__(self):
+        self._by_obj = {}
+
+    def remember(self, run, value):
+        self._by_obj[id(run)] = value  # expect: DET005
+
+    def lookup(self, run):
+        return self._by_obj.get(id(run))  # expect: DET005
+
+
+def dedupe(runs):
+    seen = {id(r) for r in runs}  # expect: DET005
+    return len(seen)

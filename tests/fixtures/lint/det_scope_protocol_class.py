@@ -1,0 +1,24 @@
+"""Scope fixture: determinism rules reach Protocol classes anywhere.
+
+No ``lint-module`` override here, so this file is outside every
+deterministic package — yet the class body below implements the
+Protocol interface, so DET rules apply inside it (and only inside it).
+"""
+
+import random
+
+
+def driver_helper():
+    # outside the protocol class and outside DET packages: not flagged
+    return random.random()
+
+
+class FlakyProcess(ProtocolProcess):  # noqa: F821 - fixture, never imported
+    def on_tick(self, tick):
+        return random.random()  # expect: DET001
+
+
+class FlakySubclass(FlakyProcess):
+    def on_tick(self, tick):
+        coin = random.randint(0, 1)  # expect: DET001
+        return coin

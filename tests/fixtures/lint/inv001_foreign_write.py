@@ -1,0 +1,26 @@
+# repro: lint-module[repro.model.fixture_inv001]
+"""Known-bad fixture: INV001 post-construction private writes."""
+
+
+def tamper(run, histories):
+    run._events = ()  # expect: INV001
+    run._meta["patched"] = True  # expect: INV001
+    histories[0]._len += 1  # expect: INV001
+    del run._digest  # expect: INV001
+
+
+def construct():
+    # filling slots on a __new__-allocated object is construction
+    node = History.__new__(History)  # noqa: F821 - fixture, never imported
+    node._parent = None
+    node._len = 0
+    return node
+
+
+class Holder:
+    def __init__(self, value):
+        # writes through self are ordinary encapsulated state
+        self._value = value
+
+    def reset(self):
+        self._value = None

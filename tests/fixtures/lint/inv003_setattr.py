@@ -1,0 +1,22 @@
+# repro: lint-module[repro.runtime.fixture_inv003]
+"""Known-bad fixture: INV003 object.__setattr__ outside construction."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Frozen:
+    value: int
+    cache: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        # construction-time writes on frozen dataclasses are the idiom
+        object.__setattr__(self, "value", abs(self.value))
+
+    def poke(self, v):
+        object.__setattr__(self, "value", v)  # expect: INV003
+        object.__delattr__(self, "cache")  # expect: INV003
+
+
+def module_level_poke(obj):
+    object.__setattr__(obj, "anything", 1)  # expect: INV003

@@ -1,0 +1,6 @@
+# repro: lint-module[repro.model.fixture_lnt001]
+"""Known-bad fixture: LNT001 suppression hygiene."""
+
+x = 1  # repro: lint-ok (expect: LNT001)
+y = 2  # repro: lint-ok[NOPE123] (expect: LNT001)
+z = 3  # repro: lint-ok[] (expect: LNT001)

@@ -1,0 +1,29 @@
+# repro: lint-module[repro.experiments.fixture_pool001]
+"""Known-bad fixture: POOL001 lambdas inside picklable specs."""
+
+
+def build_specs(processes, workload):
+    spec = RunSpec(  # noqa: F821 - fixture, never imported
+        processes=processes,
+        protocol=lambda pid, env: object(),  # expect: POOL001
+        workload=workload,
+        seed=1,
+    )
+    ens = EnsembleSpec(  # noqa: F821
+        runs=(spec,),
+        judge=lambda report: True,  # expect: POOL001
+    )
+    proto = UniformProtocol(  # noqa: F821
+        process_cls=object,
+        kwargs={"tiebreak": lambda a, b: a},  # expect: POOL001
+    )
+    return spec, ens, proto
+
+
+def fine(processes, workload, module_level_factory):
+    return RunSpec(  # noqa: F821
+        processes=processes,
+        protocol=module_level_factory,
+        workload=workload,
+        seed=1,
+    )

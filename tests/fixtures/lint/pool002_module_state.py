@@ -1,0 +1,19 @@
+# repro: lint-module[repro.runtime.fixture_pool002]
+"""Known-bad fixture: POOL002 module-level mutable state."""
+
+from collections import deque
+
+_results = []  # expect: POOL002
+_registry = {}  # expect: POOL002
+_pending = deque()  # expect: POOL002
+_seen: set = set()  # expect: POOL002
+
+# constants and dunders are not flagged
+_LIMITS = {}
+__all__ = ["record"]
+_MARKER = None
+
+
+def record(value):
+    global _results  # expect: POOL002
+    _results = _results + [value]

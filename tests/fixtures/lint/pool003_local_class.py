@@ -1,0 +1,22 @@
+# repro: lint-module[repro.runtime.fixture_pool003]
+"""Known-bad fixture: POOL003 classes defined inside functions."""
+
+
+def make_protocol():
+    class LocalProtocol:  # expect: POOL003
+        def step(self):
+            return 0
+
+    return LocalProtocol()
+
+
+class ModuleLevel:
+    # a nested class in a *class* body is picklable by qualname: not flagged
+    class Inner:
+        pass
+
+    def method(self):
+        class Hidden:  # expect: POOL003
+            pass
+
+        return Hidden

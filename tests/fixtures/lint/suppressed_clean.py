@@ -1,0 +1,18 @@
+# repro: lint-module[repro.sim.fixture_suppressed]
+"""Clean fixture: real violations waived by valid suppressions.
+
+Every would-be finding below carries a ``lint-ok`` comment, so linting
+this file must produce zero findings.
+"""
+
+import random
+import time
+
+
+def waived(members: set[str]):
+    a = random.random()  # repro: lint-ok[DET001]
+    b = time.time()  # repro: lint-ok[DET002]
+    # a standalone suppression comment covers the next line
+    # repro: lint-ok[DET004, DET005]
+    keys = [id(m) for m in members]
+    return a, b, keys

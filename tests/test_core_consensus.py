@@ -103,9 +103,6 @@ class TestRotatingCoordinator:
             plan,
             config=ExecutionConfig(max_ticks=600),
         )
-        correct_decided = [
-            p for p in run.correct() if p in consensus_outcome(run)
-        ]
         assert not check_consensus(run, VALUES)
 
     def test_decision_propagates_to_late_processes(self):

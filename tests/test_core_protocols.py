@@ -15,7 +15,7 @@ from repro.core.protocols import (
 )
 from repro.detectors.atd import AtdRotatingOracle
 from repro.detectors.generalized import GeneralizedOracle, TrivialSubsetOracle
-from repro.detectors.standard import PerfectOracle, StrongOracle
+from repro.detectors.standard import StrongOracle
 from repro.model.context import ChannelSemantics, make_process_ids
 from repro.model.events import DoEvent, SendEvent
 from repro.sim.executor import ExecutionConfig, Executor

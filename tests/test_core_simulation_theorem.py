@@ -21,9 +21,9 @@ from repro.model.context import make_process_ids
 from repro.model.events import SuspectEvent
 from repro.model.run import validate_run
 from repro.model.system import System
-from repro.sim.ensembles import a5t_ensemble, build_ensemble
+from repro.sim.ensembles import a5t_ensemble
 from repro.sim.executor import Executor
-from repro.sim.failures import CrashPlan, sample_crash_plan
+from repro.sim.failures import sample_crash_plan
 from repro.sim.process import uniform_protocol
 from repro.workloads.generators import post_crash_workload, single_action
 

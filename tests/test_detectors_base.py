@@ -11,7 +11,6 @@ from repro.detectors.base import (
     suspicion_history,
 )
 from repro.model.events import (
-    CrashEvent,
     GeneralizedSuspicion,
     StandardSuspicion,
     SuspectEvent,

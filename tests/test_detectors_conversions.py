@@ -23,7 +23,6 @@ from repro.detectors.properties import (
 from repro.detectors.standard import (
     ImpermanentStrongOracle,
     ImpermanentWeakOracle,
-    PerfectOracle,
     WeakOracle,
 )
 from repro.model.context import make_process_ids

@@ -13,13 +13,11 @@ from repro.detectors.gstandard import (
 )
 from repro.detectors.heartbeat import (
     HEARTBEAT,
-    HeartbeatProcess,
     derive_heartbeat_suspicions,
     with_heartbeats,
 )
 from repro.detectors.properties import (
     atd_accuracy,
-    impermanent_strong_completeness,
     strong_accuracy,
     strong_completeness,
     weak_accuracy,

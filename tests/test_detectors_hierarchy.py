@@ -1,6 +1,5 @@
 """Tests for the detector-class hierarchy and conversion graph."""
 
-import networkx as nx
 import pytest
 
 from repro.core.protocols import StrongFDUDCProcess

@@ -2,7 +2,6 @@
 property checkers of :mod:`repro.detectors.properties` -- both on seeded
 executor runs and under the bounded explorer's monitors."""
 
-import pytest
 
 from repro.core.protocols import StrongFDUDCProcess
 from repro.detectors.properties import (

@@ -4,7 +4,6 @@ restrict/union, and the foreign-run cache fix in the model checker."""
 
 import gc
 
-import pytest
 
 from repro.knowledge import Crashed, Knows, ModelChecker
 from repro.knowledge.formulas import Atom

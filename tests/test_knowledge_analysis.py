@@ -8,7 +8,6 @@ from repro.knowledge.analysis import (
     knowledge_is_veridical,
 )
 from repro.knowledge.formulas import (
-    Atom,
     Box,
     Crashed,
     Diamond,

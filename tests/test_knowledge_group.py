@@ -181,7 +181,7 @@ class TestCommonKnowledge:
         mc = ModelChecker(system)
         gc = GroupChecker(mc)
         phi = Inited("p1", ACTION)
-        end = lambda r: Point(r, r.duration)
+        end = lambda r: Point(r, r.duration)  # noqa: E731
 
         depths = [gc.max_e_depth(SMALL, phi, end(r), cap=8) for r in runs[1:]]
         # More delivered messages => at least as much iterated knowledge,

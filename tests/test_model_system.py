@@ -3,7 +3,7 @@
 import pytest
 
 from repro.model.context import ChannelSemantics, Context, make_process_ids
-from repro.model.events import CrashEvent, DoEvent, Message, ReceiveEvent, SendEvent
+from repro.model.events import CrashEvent, Message, ReceiveEvent, SendEvent
 from repro.model.run import Point, Run
 from repro.model.system import System
 

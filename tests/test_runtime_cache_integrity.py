@@ -3,7 +3,6 @@ entries, quarantine of corrupt files, and regeneration."""
 
 import json
 
-import pytest
 
 from repro.core.protocols import NUDCProcess
 from repro.faults import corrupt_cache_entry

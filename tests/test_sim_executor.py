@@ -3,16 +3,12 @@ determinism, and validation of generated runs."""
 
 import pytest
 
-from repro.core.protocols import NUDCProcess, StrongFDUDCProcess
+from repro.core.protocols import StrongFDUDCProcess
 from repro.detectors.standard import PerfectOracle
 from repro.model.context import ChannelSemantics, make_process_ids
 from repro.model.events import (
     CrashEvent,
-    DoEvent,
-    InitEvent,
     Message,
-    ReceiveEvent,
-    SendEvent,
     SuspectEvent,
 )
 from repro.model.run import validate_run
@@ -20,7 +16,7 @@ from repro.sim.executor import ExecutionConfig, Executor, execute
 from repro.sim.failures import CrashPlan
 from repro.sim.network import ChannelConfig
 from repro.sim.process import ProcessEnv, ProtocolProcess, uniform_protocol
-from repro.workloads.generators import action_id, single_action
+from repro.workloads.generators import single_action
 
 PROCS = make_process_ids(3)
 
