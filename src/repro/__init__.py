@@ -64,6 +64,9 @@ from repro.detectors.standard import (
     WeakOracle,
 )
 from repro.explore import (
+    Explorer,
+    ExploreSpec,
+    ReductionConfig,
     ShrinkResult,
     UniformityMonitor,
     Violation,
@@ -80,7 +83,6 @@ from repro.runtime import (
     EnsembleReport,
     EnsembleSpec,
     ExploreReport,
-    ExploreSpec,
     ProcessPoolBackend,
     RunCache,
     RunSpec,
@@ -107,6 +109,7 @@ __all__ = [
     "ExecutionConfig",
     "Executor",
     "ExploreReport",
+    "Explorer",
     "ExploreSpec",
     "ExploreStats",
     "GeneralizedFDUDCProcess",
@@ -119,6 +122,7 @@ __all__ = [
     "Point",
     "ProcessPoolBackend",
     "ProtocolProcess",
+    "ReductionConfig",
     "ReliableUDCProcess",
     "Run",
     "RunCache",

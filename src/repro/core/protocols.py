@@ -37,6 +37,7 @@ default budget of 3 with slack.  DESIGN.md substitution 2 records this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.model.events import (
     ActionId,
@@ -52,13 +53,15 @@ ALPHA = "alpha"
 ACK = "ack"
 
 
+@lru_cache(maxsize=None)  # repro: lint-ok[POOL002] value-interning cache
 def alpha_message(action: ActionId) -> Message:
-    """The "perform this action" message."""
+    """The "perform this action" message (interned per action)."""
     return Message(ALPHA, action)
 
 
+@lru_cache(maxsize=None)  # repro: lint-ok[POOL002] value-interning cache
 def ack_message(action: ActionId) -> Message:
-    """The acknowledgment of an alpha-message."""
+    """The acknowledgment of an alpha-message (interned per action)."""
     return Message(ACK, action)
 
 
@@ -148,6 +151,8 @@ class _CoordinationBase(ProtocolProcess):
             self.check_perform(action)
 
     def on_tick(self) -> None:
+        if not self.states:
+            return
         for action, st in self.states.items():
             if st.joined:
                 self._resend(action, st)

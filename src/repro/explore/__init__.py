@@ -9,9 +9,13 @@ are sound by construction rather than sample-dependent.
 
 Entry points:
 
-* :func:`explore` -- enumerate an :class:`repro.runtime.ExploreSpec`,
-  returning an :class:`repro.runtime.report.ExploreReport`;
-* :func:`replay` -- re-execute one branch from its
+* :class:`Explorer` -- the documented facade:
+  ``Explorer.from_spec(spec, monitors=...).run()``;
+* :class:`ExploreSpec` / :class:`ReductionConfig` -- what to enumerate
+  and which state-space reductions to apply (``"none"``, ``"dpor"``,
+  ``"dpor+symmetry"``);
+* :func:`explore` / :func:`replay` -- the functional layer underneath:
+  enumerate a spec, or re-execute one branch from its
   ``(crash_plan, trace)`` coordinates;
 * :mod:`~repro.explore.monitors` -- per-run property monitors
   (UDC/uniformity, detector properties) that can short-circuit the
@@ -20,6 +24,7 @@ Entry points:
   minimization of a violating run.
 """
 
+from repro.explore.api import Explorer
 from repro.explore.monitors import (
     DetectorPropertyMonitor,
     PredicateMonitor,
@@ -32,12 +37,17 @@ from repro.explore.monitors import (
 from repro.explore.reduction import ExploreStats
 from repro.explore.scheduler import ExecutionResult, explore, replay
 from repro.explore.shrink import ShrinkResult, shrink_violation
+from repro.explore.spec import REDUCTION_MODES, ExploreSpec, ReductionConfig
 
 __all__ = [
     "DetectorPropertyMonitor",
     "ExecutionResult",
+    "Explorer",
+    "ExploreSpec",
     "ExploreStats",
     "PredicateMonitor",
+    "REDUCTION_MODES",
+    "ReductionConfig",
     "RunMonitor",
     "ShrinkResult",
     "UniformityMonitor",

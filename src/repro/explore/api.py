@@ -1,0 +1,91 @@
+"""The documented entry point for bounded exhaustive exploration.
+
+:class:`Explorer` is a thin, immutable facade over
+:func:`repro.explore.scheduler.explore`: it binds a spec to the
+exploration options (monitors, short-circuiting, worker count, cache)
+so call sites read declaratively and sweeps can clone-and-vary it::
+
+    from repro import Explorer, ExploreSpec
+
+    report = Explorer.from_spec(spec, monitors=[UniformityMonitor()]).run()
+    for violation in report.violations:
+        witness = Explorer.from_spec(spec).replay(violation.run)
+
+Everything the facade does is expressible through the functional API;
+it exists so the *one* obvious way to explore is also the one that
+composes with monitors, sharding, and replay correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.explore.monitors import RunMonitor
+from repro.explore.scheduler import _CACHE_DEFAULT, explore, replay
+from repro.explore.spec import ExploreSpec
+from repro.model.run import Run
+from repro.runtime.report import ExploreReport
+
+__all__ = ["Explorer"]
+
+
+@dataclass(frozen=True)
+class Explorer:
+    """A bound exploration: spec plus how to run it.
+
+    Frozen so a configured explorer can be shared and varied with
+    :meth:`with_` exactly like the specs themselves.
+    """
+
+    spec: ExploreSpec
+    monitors: tuple[RunMonitor, ...] = ()
+    stop_on_violation: bool = False
+    workers: int = 1
+    cache: object = field(default=_CACHE_DEFAULT, repr=False)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ExploreSpec,
+        *,
+        monitors: Sequence[RunMonitor] = (),
+        stop_on_violation: bool = False,
+        workers: int = 1,
+        cache: object = _CACHE_DEFAULT,
+    ) -> "Explorer":
+        return cls(
+            spec=spec,
+            monitors=tuple(monitors),
+            stop_on_violation=stop_on_violation,
+            workers=workers,
+            cache=cache,
+        )
+
+    def with_(self, **changes: object) -> "Explorer":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def run(self) -> ExploreReport:
+        """Enumerate the spec's bounded run space; see :func:`explore`."""
+        return explore(
+            self.spec,
+            monitors=self.monitors,
+            stop_on_violation=self.stop_on_violation,
+            cache=self.cache,
+            workers=self.workers,
+        )
+
+    def replay(self, run: Run) -> Run:
+        """Re-execute one explored run from its ``meta`` coordinates.
+
+        Works for symmetry-mirrored runs too: their ``meta`` carries the
+        renaming needed to replay the canonical preimage and rename the
+        result back.
+        """
+        return replay(
+            self.spec,
+            run.meta["crash_plan"],
+            tuple(run.meta["trace"]),
+            renaming=tuple(run.meta.get("renaming", ())) or None,
+        )

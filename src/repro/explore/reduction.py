@@ -1,44 +1,46 @@
 """State-space reduction for the bounded explorer.
 
-Two run-set-preserving reductions keep the bounded search tractable:
+The explorer's branch structure has two sources of nondeterminism per
+reachable configuration: which deliverable copy a process consumes (or
+whether it defers them all), and -- on lossy channels -- whether a
+submitted copy is dropped.  :mod:`repro.explore.scheduler` applies two
+dynamic partial-order reductions over that structure, both
+run-set-preserving:
 
-* **Fingerprint pruning** -- after each simulated tick the explorer
-  canonicalizes its full configuration (timelines, outboxes, channel
-  multiset, crash state, pending crashes/inits, fairness streaks) into a
-  hashable fingerprint.  A branch that reaches a configuration some
-  earlier branch already reached is abandoned: the suffix tree below
-  that configuration is a pure function of the configuration, so it was
-  (or will be) enumerated from the first encounter.  Soundness rests on
-  the repo-wide invariant that protocol and detector state are functions
-  of the visible configuration -- protocol state is a function of the
-  local timeline by construction (see :mod:`repro.sim.process`), so it
-  is deliberately *excluded* from the fingerprint; stochastic detectors
-  break the invariant, so fingerprinting auto-disables when a detector
-  is attached (``ExploreStats.fingerprints_active``).
+* **Delivery grouping (persistent/source sets)** -- in-flight copies of
+  the same ``(sender, message)`` pair are interchangeable: consuming
+  either appends the same ``ReceiveEvent`` and leaves behaviourally
+  identical residual channels, so the dependency relation cannot
+  distinguish them.  The explorer branches once per *distinct* pair
+  rather than once per copy; collapsed siblings are counted in
+  ``ExploreStats.deliveries_collapsed``.
 
-* **Sleep-set/commutativity POR** -- at a delivery choice point,
-  in-flight copies of the same ``(sender, message)`` pair are
-  interchangeable: consuming either appends the same ``ReceiveEvent``
-  and leaves behaviourally identical residual channels (explorer
-  envelopes differ only in bookkeeping fields).  The explorer therefore
-  branches once per *distinct* pair rather than once per copy, and
-  similarly suppresses drop/accept branches that cannot be observed
-  within the horizon (copies addressed to crashed processes, copies
-  that cannot be delivered before the horizon).  Suppressed siblings
-  are counted in ``ExploreStats.por_skipped``.
+* **Drop elision (sleep sets)** -- the drop/accept branch of a lossy
+  submission never conflicts with any observable transition: a dropped
+  copy produces exactly the runs that an accepted-but-never-delivered
+  copy produces (defer-all is always available), so the drop branch
+  enters the sleep set the moment the accept branch is taken and is
+  never scheduled.  The only observable the branch carried -- whether
+  the final cut is *quiescent* -- is recovered post hoc by
+  :func:`drop_schedule_feasible`: a leaf with copies still in flight is
+  quiescent iff an R5-respecting drop schedule exists that drops every
+  one of them.  Elided branches are counted in
+  ``ExploreStats.drops_elided``.
 
-Both reductions preserve the *set of runs* exactly -- the acceptance
-check in ``tests/test_explore_scheduler.py`` asserts bit-identical
-``Knows``/``C_G`` answers between a POR+fingerprint exploration and a
-reduction-free baseline.
+The fingerprint-pruning machinery that used to live here (a
+``FingerprintSet`` of canonicalized configurations) is retired: measured
+against real workloads it never pruned anything (``states_pruned`` was
+0 across the committed benchmarks) while its canonicalization dominated
+the hot loop.  See DESIGN.md section 12 for the full soundness argument
+of the reductions that replaced it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from repro.model.events import Event, ProcessId
+from repro.model.events import ProcessId
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.network import Envelope
@@ -52,30 +54,41 @@ class ExploreStats:
       (one per frontier entry actually expanded);
     * ``states_expanded`` -- tick-configurations simulated across all
       executions;
-    * ``states_pruned`` -- executions abandoned because their fresh
-      suffix reached an already-seen fingerprint;
     * ``choice_points`` / ``branches_scheduled`` -- nondeterministic
       decisions encountered, and the alternative branches pushed onto
       the frontier from them;
-    * ``por_skipped`` -- alternatives suppressed by the commutativity
-      reduction (interchangeable delivery copies, unobservable drops);
+    * ``deliveries_collapsed`` -- delivery alternatives suppressed by
+      grouping interchangeable copies (persistent-set reduction);
+    * ``drops_elided`` -- drop/accept branches never scheduled because
+      the drop branch sleeps (sleep-set reduction);
+    * ``symmetry_plans_folded`` -- crash plans folded into orbit
+      representatives by the process-renaming quotient;
+    * ``symmetry_runs_mirrored`` -- runs reconstructed for folded plans
+      by renaming a representative's runs;
+    * ``seeded_from_horizon`` -- nonzero T' when the frontier was seeded
+      from a cached horizon-T' exploration (incremental extension);
+    * ``fixpoint_leaves_reused`` -- quiescent cached leaves extended to
+      the new horizon without re-execution;
     * ``runs_enumerated`` / ``runs_unique`` -- leaves reached vs.
       distinct runs kept after value-level deduplication;
     * ``monitor_checks`` / ``violations`` -- property-monitor activity;
     * ``truncated`` -- the ``max_executions`` budget stopped exploration
       early (the resulting system is *not* complete);
     * ``stopped_on_violation`` -- a monitor short-circuited exploration;
-    * ``fingerprints_active`` / ``por_active`` -- the reductions that
-      actually ran (fingerprinting auto-disables under stochastic
-      detectors).
+    * ``reduction`` / ``symmetry_active`` / ``workers`` -- the mode that
+      actually ran (symmetry auto-disables on asymmetric specs).
     """
 
     executions: int = 0
     states_expanded: int = 0
-    states_pruned: int = 0
     choice_points: int = 0
     branches_scheduled: int = 0
-    por_skipped: int = 0
+    deliveries_collapsed: int = 0
+    drops_elided: int = 0
+    symmetry_plans_folded: int = 0
+    symmetry_runs_mirrored: int = 0
+    seeded_from_horizon: int = 0
+    fixpoint_leaves_reused: int = 0
     runs_enumerated: int = 0
     runs_unique: int = 0
     monitor_checks: int = 0
@@ -83,8 +96,9 @@ class ExploreStats:
     max_frontier: int = 0
     truncated: bool = False
     stopped_on_violation: bool = False
-    fingerprints_active: bool = False
-    por_active: bool = False
+    reduction: str = "dpor"
+    symmetry_active: bool = False
+    workers: int = 1
 
     @property
     def exhaustive(self) -> bool:
@@ -94,109 +108,72 @@ class ExploreStats:
     def as_dict(self) -> dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def merge_shard(self, other: "ExploreStats") -> None:
+        """Fold one worker shard's counters into the driver's stats.
+
+        Only the additive search counters merge; mode flags and
+        monitor/dedup counters are driver-owned.
+        """
+        self.executions += other.executions
+        self.states_expanded += other.states_expanded
+        self.choice_points += other.choice_points
+        self.branches_scheduled += other.branches_scheduled
+        self.deliveries_collapsed += other.deliveries_collapsed
+        self.drops_elided += other.drops_elided
+        self.max_frontier = max(self.max_frontier, other.max_frontier)
+
     def render(self) -> str:
         """One readable line of the headline counters."""
-        reductions = []
-        if self.por_active:
-            reductions.append("por")
-        if self.fingerprints_active:
-            reductions.append("fingerprints")
-        mode = "+".join(reductions) if reductions else "none"
+        mode = self.reduction
+        if self.reduction == "dpor+symmetry" and not self.symmetry_active:
+            mode = "dpor (symmetry auto-disabled)"
         tail = ""
         if self.truncated:
             tail = "; TRUNCATED (budget)"
         elif self.stopped_on_violation:
             tail = "; stopped on violation"
+        if self.seeded_from_horizon:
+            tail += (
+                f"; seeded from T={self.seeded_from_horizon} "
+                f"({self.fixpoint_leaves_reused} fixpoint leaves reused)"
+            )
+        if self.workers > 1:
+            tail += f"; {self.workers} workers"
         return (
             f"explore: {self.runs_unique} runs "
             f"({self.runs_enumerated} leaves) from {self.executions} "
             f"executions over {self.states_expanded} states; "
             f"{self.choice_points} choice points, "
             f"{self.branches_scheduled} branches, "
-            f"{self.states_pruned} pruned, {self.por_skipped} POR-skipped "
-            f"[reductions: {mode}]{tail}"
+            f"{self.deliveries_collapsed} deliveries collapsed, "
+            f"{self.drops_elided} drops elided, "
+            f"{self.symmetry_plans_folded} plans folded "
+            f"[reduction: {mode}]{tail}"
         )
 
 
-#: One canonicalized in-flight copy: (receiver, sender, message,
-#: remaining delay clamped at zero).  Copies of the same pair that are
-#: already deliverable fingerprint identically regardless of when they
-#: were sent -- exactly the interchangeability POR exploits.
-CanonicalEnvelope = tuple[ProcessId, ProcessId, object, int]
+def drop_schedule_feasible(delivered_flags: Sequence[bool], budget: int) -> bool:
+    """Can every undelivered copy of one channel key be dropped under R5?
 
-#: The full canonical configuration; used as an exact dict key, never
-#: reduced to a 64-bit hash, so a collision can only cost memory --
-#: not soundness.
-Fingerprint = tuple[object, ...]
-
-
-def canonical_channel(
-    in_flight: Mapping[ProcessId, Sequence["Envelope"]], tick: int
-) -> tuple[CanonicalEnvelope, ...]:
-    """The channel contents as a sorted multiset of canonical copies."""
-    copies: list[CanonicalEnvelope] = []
-    for receiver, envelopes in in_flight.items():
-        for env in envelopes:
-            copies.append(
-                (
-                    receiver,
-                    env.sender,
-                    env.message,
-                    max(env.deliver_at - tick, 0),
-                )
-            )
-    copies.sort(key=repr)
-    return tuple(copies)
-
-
-def state_fingerprint(
-    *,
-    tick: int,
-    processes: Sequence[ProcessId],
-    timelines: Mapping[ProcessId, Sequence[tuple[int, Event]]],
-    outboxes: Mapping[ProcessId, Sequence[Event]],
-    crashed: frozenset[ProcessId],
-    pending_crashes: tuple[tuple[int, tuple[ProcessId, ...]], ...],
-    pending_inits: Mapping[ProcessId, Sequence[tuple[int, object]]],
-    channel: tuple[CanonicalEnvelope, ...],
-    drop_streaks: tuple[tuple[object, int], ...],
-) -> Fingerprint:
-    """Canonicalize one explorer configuration.
-
-    Everything the future of an execution can depend on is included:
-    the timelines determine protocol (and deterministic detector) state,
-    the channel multiset and streaks determine delivery/drop options,
-    and the pending crash/init schedules determine the environment's
-    remaining moves.  Two executions whose fingerprints are equal have
-    identical suffix trees.
+    ``delivered_flags`` is the submission-ordered history of one
+    ``(sender, receiver, message)`` key: True where the copy was
+    actually delivered in the execution, False where it is still in
+    flight at the horizon.  A drop schedule that drops exactly the False
+    copies respects the fair-loss budget iff no run of more than
+    ``budget`` consecutive False entries exists (each delivered copy
+    resets the channel's consecutive-drop streak; the budget forces
+    every (budget+1)-th consecutive copy through, so a longer False run
+    could never have been all-dropped).
     """
-    return (
-        tick,
-        tuple(tuple(timelines[p]) for p in processes),
-        tuple(tuple(outboxes[p]) for p in processes),
-        crashed,
-        pending_crashes,
-        tuple(tuple(pending_inits[p]) for p in processes),
-        channel,
-        drop_streaks,
-    )
-
-
-class FingerprintSet:
-    """The seen-set of canonical configurations (exact, not hashed down)."""
-
-    def __init__(self) -> None:
-        self._seen: set[Fingerprint] = set()
-
-    def __len__(self) -> int:
-        return len(self._seen)
-
-    def check_and_add(self, fingerprint: Fingerprint) -> bool:
-        """True iff the configuration was already seen (=> prune)."""
-        if fingerprint in self._seen:
-            return True
-        self._seen.add(fingerprint)
-        return False
+    streak = 0
+    for delivered in delivered_flags:
+        if delivered:
+            streak = 0
+        else:
+            streak += 1
+            if streak > budget:
+                return False
+    return True
 
 
 def group_deliverable(

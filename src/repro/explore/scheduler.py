@@ -8,17 +8,20 @@ same channel bookkeeping) but replaces every ``random.Random`` draw with
 an explicit **choice**:
 
 * the crash pattern is a top-level branch -- one root per plan from
-  :meth:`repro.runtime.spec.ExploreSpec.crash_plans` (A1/A5_t, bounded
+  :meth:`repro.explore.spec.ExploreSpec.crash_plans` (A1/A5_t, bounded
   by ``max_failures``);
 * per live process per tick, when deliverable envelopes exist, a choice
   selects which in-flight message to consume -- or defers them all one
   tick (this single primitive realizes message delay *and* reordering:
   every pattern the seeded adversary's delay draws and postponements can
   produce corresponds to some assignment of defer choices);
-* per submitted copy on a lossy channel, a drop/accept choice, clamped
-  by the R5 fairness budget (``max_consecutive_drops`` back-to-back
-  drops of a key force the next copy through -- the same budget
-  :class:`repro.sim.network.FairLossyChannel` enforces).
+* under ``reduction="none"`` only, per submitted copy on a lossy
+  channel, a drop/accept choice clamped by the R5 fairness budget.
+  Under DPOR the drop branch is *elided*: a dropped copy is
+  observationally an accepted copy that is never delivered, so the
+  defer choices above already cover every drop pattern, and the final
+  cut's quiescence is recovered by synthesizing an R5-feasible drop
+  schedule (:func:`repro.explore.reduction.drop_schedule_feasible`).
 
 Executions are *stateless-model-checking* style: a frontier entry is a
 ``(crash_plan, choice-prefix)`` pair; replaying the prefix and then
@@ -26,8 +29,10 @@ greedily taking option 0 (the most cooperative alternative: deliver the
 oldest message, accept the copy) yields one complete run while
 recording how many options each fresh decision had, and every untaken
 alternative becomes a new frontier entry.  Exploration is exhaustive
-when the frontier drains; :mod:`repro.explore.reduction` keeps the tree
-small without changing the run set.
+when the frontier drains.  The statelessness is what makes the search
+*shardable*: any slice of the frontier can be drained in any process
+(:mod:`repro.explore.sharding`) and the leaves merged deterministically,
+because every leaf is a pure function of its coordinates.
 
 Scope: the explored nondeterminism is crash timing and channel
 behaviour -- the two adversary dimensions the paper's proofs quantify
@@ -43,16 +48,23 @@ from __future__ import annotations
 import random
 import time
 from collections import deque
-from typing import Deque, Iterator, Sequence
+from typing import Deque, Iterable, Iterator, Optional, Sequence
 
 from repro.detectors.base import GroundTruthView, NoDetector
 from repro.explore.monitors import RunMonitor, Violation
 from repro.explore.reduction import (
     ExploreStats,
-    FingerprintSet,
-    canonical_channel,
+    drop_schedule_feasible,
     group_deliverable,
-    state_fingerprint,
+)
+from repro.explore.spec import ExploreSpec
+from repro.explore.symmetry import (
+    Renaming,
+    SymmetryQuotient,
+    rename_plan,
+    rename_run,
+    run_respects_quotient,
+    symmetry_quotient,
 )
 from repro.model.events import (
     ActionId,
@@ -68,36 +80,43 @@ from repro.model.events import (
 )
 from repro.model.run import Run, validate_run
 from repro.runtime.report import ExploreReport
-from repro.runtime.spec import ExploreSpec
 from repro.sim.failures import CrashPlan
 from repro.sim.network import ChannelKey, Envelope
 from repro.sim.process import ProcessEnv
 
-__all__ = ["ExecutionResult", "explore", "replay"]
+__all__ = ["ExecutionResult", "Leaf", "drain_frontier", "explore", "replay"]
 
 #: A choice trace: the option index taken at each decision point, in
 #: encounter order.  The empty trace is the all-cooperative run.
 Trace = tuple[int, ...]
 
+#: One search leaf: its coordinates, the run it produced, and whether
+#: the final cut is a strict fixpoint (reusable for horizon extension).
+Leaf = tuple[CrashPlan, Trace, Run, bool]
+
 _CACHE_DEFAULT = object()  # sentinel: "use the process-wide default cache"
+
+#: Driver-side breadth-first widening target, per worker, before the
+#: frontier is striped into shards.
+_WIDEN_FACTOR = 8
 
 
 class ExecutionResult:
     """What one deterministic bounded execution produced."""
 
-    __slots__ = ("run", "taken", "option_counts", "pruned")
+    __slots__ = ("run", "taken", "option_counts", "fixpoint")
 
     def __init__(
         self,
-        run: Run | None,
+        run: Run,
         taken: Trace,
         option_counts: tuple[int, ...],
-        pruned: bool,
+        fixpoint: bool,
     ) -> None:
         self.run = run
         self.taken = taken
         self.option_counts = option_counts
-        self.pruned = pruned
+        self.fixpoint = fixpoint
 
 
 class _BoundedExecution:
@@ -115,20 +134,31 @@ class _BoundedExecution:
         plan: CrashPlan,
         prefix: Trace,
         stats: ExploreStats,
-        seen: FingerprintSet | None,
     ) -> None:
         self.spec = spec
         self.plan = plan
         self.prefix = prefix
         self.stats = stats
-        self.seen = seen
+        reduced = spec.reduction != "none"
+        self._group = reduced and spec.reduction_config.delivery_grouping
+        self._elide = (
+            reduced and spec.reduction_config.drop_elision and spec.lossy
+        )
         self.processes = spec.processes
         self.envs = {p: ProcessEnv(p, self.processes) for p in self.processes}
         self.protocols = {
             p: spec.protocol(p, self.envs[p]) for p in self.processes
         }
-        self.detector = (spec.detector or NoDetector()).fresh()
-        self._rng = random.Random(0)  # consumed only by detector oracles
+        self._poll = spec.detector is not None
+        if self._poll:
+            self.detector = (spec.detector or NoDetector()).fresh()
+            self._rng = random.Random(0)  # consumed only by detector oracles
+            self._detector_name = self.detector.name
+        else:
+            # No detector: skip oracle + rng construction on the hot path
+            self.detector = None
+            self._rng = None
+            self._detector_name = NoDetector.name
         self._timelines: dict[ProcessId, list[tuple[int, Event]]] = {
             p: [] for p in self.processes
         }
@@ -151,6 +181,10 @@ class _BoundedExecution:
         self._in_flight: dict[ProcessId, list[Envelope]] = {}
         self._next_uid = 0
         self._streaks: dict[ChannelKey, int] = {}
+        # Drop elision: submission-ordered uid log per channel key and
+        # the delivered subset, for post-hoc drop-schedule synthesis.
+        self._submission_log: dict[ChannelKey, list[int]] = {}
+        self._delivered_uids: set[int] = set()
         self._dropped = 0
         self._delivered = 0
         self._taken: list[int] = []
@@ -187,15 +221,24 @@ class _BoundedExecution:
         deliver_at = tick + 1
         if spec.lossy and deliver_at <= spec.horizon:
             key: ChannelKey = (sender, receiver, message)
-            streak = self._streaks.get(key, 0)
-            if streak >= spec.max_consecutive_drops:
-                self._streaks[key] = 0  # R5: the budget forces this copy through
-            elif self._choose(2) == 1:
-                self._streaks[key] = streak + 1
-                self._dropped += 1
-                return
+            if self._elide:
+                # Sleep-set elision: the drop branch commutes with every
+                # observable transition (a dropped copy is an accepted
+                # copy that is never delivered, and defer-all is always
+                # available), so it is never scheduled.  Quiescence is
+                # synthesized from this log at the final cut.
+                self._submission_log.setdefault(key, []).append(self._next_uid)
+                self.stats.drops_elided += 1
             else:
-                self._streaks[key] = 0
+                streak = self._streaks.get(key, 0)
+                if streak >= spec.max_consecutive_drops:
+                    self._streaks[key] = 0  # R5: the budget forces this copy
+                elif self._choose(2) == 1:
+                    self._streaks[key] = streak + 1
+                    self._dropped += 1
+                    return
+                else:
+                    self._streaks[key] = 0
         # Copies that cannot be delivered within the horizon
         # (deliver_at > horizon) are accepted without a drop branch:
         # dropping them is unobservable in the run prefix, and keeping
@@ -216,22 +259,38 @@ class _BoundedExecution:
         pending = self._in_flight.get(pid)
         if not pending:
             return None
-        ready = [e for e in pending if e.deliver_at <= tick]
-        if not ready:
+        # Appends happen in (deliver_at, uid) order (deliver_at is the
+        # submit tick + 1, monotone; uids increase), and removals keep
+        # relative order -- so the deliverable envelopes are exactly a
+        # prefix of the list, already sorted.
+        cut = 0
+        total = len(pending)
+        while cut < total and pending[cut].deliver_at <= tick:
+            cut += 1
+        if not cut:
             return None
-        ready.sort(key=lambda e: (e.deliver_at, e.uid))
-        if self.spec.por:
+        ready = pending[:cut] if cut < total else pending
+        if self._group:
             groups = group_deliverable(ready)
             if self._fresh:
-                self.stats.por_skipped += len(ready) - len(groups)
+                self.stats.deliveries_collapsed += cut - len(groups)
+            pick = self._choose(len(groups) + 1)
+            if pick == len(groups):
+                return None  # defer them all one tick (delay/reorder move)
+            envelope = groups[pick][0]
+            index = 0
+            while pending[index] is not envelope:
+                index += 1
         else:
-            groups = [[e] for e in ready]
-        pick = self._choose(len(groups) + 1)
-        if pick == len(groups):
-            return None  # defer them all one tick (delay/reorder move)
-        envelope = groups[pick][0]
-        pending.remove(envelope)
+            pick = self._choose(cut + 1)
+            if pick == cut:
+                return None
+            envelope = ready[pick]
+            index = pick
+        del pending[index]
         self._delivered += 1
+        if self._elide:
+            self._delivered_uids.add(envelope.uid)
         return envelope
 
     # -- the tick loop ------------------------------------------------------
@@ -244,9 +303,10 @@ class _BoundedExecution:
 
     def _step_event(self, pid: ProcessId, tick: int) -> Event | None:
         env = self.envs[pid]
-        report = self.detector.poll(pid, tick, self.truth, self._rng)
-        if report is not None:
-            return SuspectEvent(pid, report)
+        if self._poll:
+            report = self.detector.poll(pid, tick, self.truth, self._rng)
+            if report is not None:
+                return SuspectEvent(pid, report)
         if env.outbox:
             return env.outbox.popleft()
         action = self._due_init(pid, tick)
@@ -275,33 +335,24 @@ class _BoundedExecution:
         else:  # pragma: no cover - crash events never reach here
             raise AssertionError(f"unexpected event {event!r}")
 
-    def _fingerprint(self, tick: int) -> tuple[object, ...]:
-        pending_crashes = tuple(
-            (t, pids) for t, pids in sorted(self._crash_index.items()) if t > tick
-        )
-        return state_fingerprint(
-            tick=tick,
-            processes=self.processes,
-            timelines=self._timelines,
-            outboxes={p: tuple(self.envs[p].outbox) for p in self.processes},
-            crashed=frozenset(self._crashed),
-            pending_crashes=pending_crashes,
-            pending_inits=self._pending_inits,
-            channel=canonical_channel(self._in_flight, tick),
-            drop_streaks=tuple(
-                sorted(
-                    ((k, s) for k, s in self._streaks.items() if s),
-                    key=repr,
-                )
-            ),
-        )
+    def _final_flags(self) -> tuple[bool, bool, int]:
+        """Classify the final cut: (quiescent, fixpoint, synthesized drops).
 
-    def _quiescent(self, horizon: int) -> bool:
-        """Is the final cut a fixpoint (would an extension stay silent)?"""
+        *Quiescent*: some continuation of the adversary's choices keeps
+        the run silent forever.  With drop elision, copies still in
+        flight within the horizon do not refute quiescence if an
+        R5-feasible schedule drops them all -- the leaf then stands for
+        the old drop-branch leaf with identical timelines.
+
+        *Fixpoint* is strictly stronger: the very next tick appends no
+        event and opens no choice point (channels empty, no detector),
+        so the horizon-(T+1) subtree of this leaf is this leaf.  That is
+        what licenses incremental horizon extension.
+        """
+        horizon = self.spec.horizon
         live = [p for p in self.processes if p not in self._crashed]
-        return (
+        base = (
             all(not self.envs[p].outbox for p in live)
-            and all(not self._in_flight.get(p) for p in live)
             and all(
                 not queue or pid in self._crashed
                 for pid, queue in self._pending_inits.items()
@@ -309,6 +360,29 @@ class _BoundedExecution:
             and all(t <= horizon for t in self._crash_index)
             and all(not self.protocols[p].wants_to_act() for p in live)
         )
+        if not base:
+            return False, False, 0
+        if all(not self._in_flight.get(p) for p in live):
+            return True, not self._poll, 0
+        if not self._elide:
+            return False, False, 0
+        synthesized = 0
+        for p in live:
+            for env in self._in_flight.get(p, ()):
+                if env.deliver_at > horizon:
+                    # Matches the unreduced semantics: beyond-horizon
+                    # copies never get a drop branch, so they always
+                    # stand as obligations against quiescence.
+                    return False, False, 0
+                synthesized += 1
+        budget = self.spec.max_consecutive_drops
+        for key, uids in self._submission_log.items():
+            if key[1] in self._crashed:
+                continue  # popped at the crash; nothing to synthesize
+            flags = [uid in self._delivered_uids for uid in uids]
+            if not drop_schedule_feasible(flags, budget):
+                return False, False, 0
+        return True, False, synthesized
 
     def execute(self) -> ExecutionResult:
         spec = self.spec
@@ -334,13 +408,7 @@ class _BoundedExecution:
                 self._timelines[pid].append((tick, event))
                 self._dispatch(pid, event, tick)
             stats.states_expanded += 1
-            if self.seen is not None and tick < horizon and self._fresh:
-                if self.seen.check_and_add(self._fingerprint(tick)):
-                    stats.states_pruned += 1
-                    return ExecutionResult(
-                        None, tuple(self._taken), tuple(self._counts), True
-                    )
-        quiescent = self._quiescent(horizon)
+        quiescent, fixpoint, synthesized = self._final_flags()
         run = Run(
             self.processes,
             self._timelines,
@@ -349,9 +417,9 @@ class _BoundedExecution:
                 "explored": True,
                 "crash_plan": self.plan,
                 "trace": tuple(self._taken),
-                "detector": self.detector.name,
+                "detector": self._detector_name,
                 "quiescent": quiescent,
-                "dropped": self._dropped,
+                "dropped": self._dropped + (synthesized if quiescent else 0),
                 "delivered": self._delivered,
             },
         )
@@ -363,20 +431,93 @@ class _BoundedExecution:
             spec.max_consecutive_drops + 2 if quiescent else horizon + 2
         )
         validate_run(run, r5_send_threshold=threshold)
-        return ExecutionResult(run, tuple(self._taken), tuple(self._counts), False)
+        return ExecutionResult(
+            run, tuple(self._taken), tuple(self._counts), fixpoint
+        )
 
 
-def replay(spec: ExploreSpec, plan: CrashPlan, trace: Trace) -> Run:
+def replay(
+    spec: ExploreSpec,
+    plan: CrashPlan,
+    trace: Trace,
+    renaming: Renaming | None = None,
+) -> Run:
     """Re-execute one explored branch: the run is a pure function of
     ``(spec, plan, trace)``.  Out-of-range choices clamp to the last
     option, so any int tuple is a valid (if redundant) trace -- the
     property :mod:`repro.explore.shrink` relies on.
+
+    ``renaming`` replays a symmetry-mirrored run (``meta["renaming"]``):
+    the canonical preimage of ``plan`` is executed and the result is
+    renamed back, so mirrored runs round-trip exactly like explored
+    ones.
     """
-    result = _BoundedExecution(
-        spec, plan, tuple(trace), ExploreStats(), None
-    ).execute()
-    assert result.run is not None  # no fingerprint set => never pruned
-    return result.run
+    if renaming:
+        inverse = {actual: canonical for canonical, actual in renaming}
+        canonical_plan = rename_plan(plan, inverse)
+        canonical = _BoundedExecution(
+            spec, canonical_plan, tuple(trace), ExploreStats()
+        ).execute()
+        forward = {canonical_pid: actual for canonical_pid, actual in renaming}
+        return rename_run(canonical.run, forward, plan=plan)
+    return _BoundedExecution(spec, plan, tuple(trace), ExploreStats()).execute().run
+
+
+def drain_frontier(
+    spec: ExploreSpec, entries: Iterable[tuple[CrashPlan, Trace]]
+) -> tuple[list[Leaf], ExploreStats]:
+    """Exhaustively drain a frontier slice; pure and side-effect free.
+
+    This is the sharding work unit: leaves are pure functions of their
+    coordinates, so any partition of the frontier drains to the same
+    leaf multiset in any process.  No monitors, no cache, no budget --
+    the driver owns those.
+    """
+    stats = ExploreStats(reduction=spec.reduction)
+    frontier: Deque[tuple[CrashPlan, Trace]] = deque(entries)
+    dfs = spec.strategy == "dfs"
+    leaves: list[Leaf] = []
+    while frontier:
+        if len(frontier) > stats.max_frontier:
+            stats.max_frontier = len(frontier)
+        plan, prefix = frontier.pop() if dfs else frontier.popleft()
+        result = _BoundedExecution(spec, plan, prefix, stats).execute()
+        stats.executions += 1
+        for i in range(len(prefix), len(result.option_counts)):
+            options = result.option_counts[i]
+            stats.choice_points += 1
+            for alternative in range(1, options):
+                frontier.append((plan, result.taken[:i] + (alternative,)))
+                stats.branches_scheduled += 1
+        leaves.append((plan, result.taken, result.run, result.fixpoint))
+    return leaves, stats
+
+
+def _rep_key(run: Run, plan_order: dict[CrashPlan, int]) -> tuple[int, int, Trace]:
+    """Deterministic representative preference for value-equal runs.
+
+    Quiescent variants win (their final cut is a fixpoint, so liveness
+    verdicts are exact), then the smallest ``(plan, trace)`` coordinate.
+    Being discovery-order-independent is what makes the final run list
+    identical across worker counts and seeding paths.
+    """
+    meta = run.meta
+    return (
+        0 if meta.get("quiescent") else 1,
+        plan_order.get(meta["crash_plan"], len(plan_order)),
+        tuple(meta["trace"]),
+    )
+
+
+def _extend_fixpoint(
+    run: Run, plan: CrashPlan, trace: Trace, horizon: int
+) -> Run:
+    """A fixpoint leaf one horizon later: same timelines, one silent tick."""
+    timelines = {p: list(run.timeline(p)) for p in run.processes}
+    meta = dict(run.meta)
+    meta["crash_plan"] = plan
+    meta["trace"] = trace
+    return Run(run.processes, timelines, duration=horizon, meta=meta)
 
 
 def explore(
@@ -385,6 +526,7 @@ def explore(
     monitors: Sequence[RunMonitor] = (),
     stop_on_violation: bool = False,
     cache: object = _CACHE_DEFAULT,
+    workers: int = 1,
 ) -> ExploreReport:
     """Enumerate every run of ``spec``'s context up to its horizon.
 
@@ -393,11 +535,17 @@ def explore(
     exploration was exhaustive -- i.e. neither truncated by
     ``spec.max_executions`` nor short-circuited by ``stop_on_violation``.
 
-    ``monitors`` are checked against every distinct run as it is found;
-    violations carry the ``(crash_plan, trace)`` coordinates needed to
-    replay and shrink them.  Only exhaustive explorations are cached
-    (key: ``spec.digest()``), so a cache hit can never hide part of the
-    run set; monitors re-run over cached runs.
+    ``monitors`` are checked once per distinct run; violations carry the
+    ``(crash_plan, trace)`` coordinates needed to replay and shrink
+    them.  Only exhaustive explorations are cached (key:
+    ``spec.digest()``), so a cache hit can never hide part of the run
+    set; monitors re-run over cached runs.
+
+    ``workers > 1`` shards the frontier across worker processes
+    (:mod:`repro.explore.sharding`).  The run list, stats that describe
+    the search space, and violations are identical for every worker
+    count; with ``stop_on_violation`` the short-circuit happens at shard
+    granularity, so *which* single violation is reported may differ.
     """
     from repro.runtime.cache import RunCache, default_run_cache
 
@@ -426,88 +574,246 @@ def explore(
                 context=spec.context,
             )
 
+    plans = spec.crash_plans()
+    plan_order = {plan: i for i, plan in enumerate(plans)}
+    quotient: SymmetryQuotient | None = None
+    if spec.reduction == "dpor+symmetry":
+        quotient = symmetry_quotient(spec, plans)
+    workers = max(1, workers)
+    if spec.max_executions is not None or digest is None:
+        workers = 1  # budgeted search is inherently serial; pools need pickling
     stats = ExploreStats(
-        por_active=spec.por,
-        fingerprints_active=spec.fingerprints and spec.detector is None,
+        reduction=spec.reduction,
+        symmetry_active=quotient is not None,
+        workers=workers,
     )
-    seen = FingerprintSet() if stats.fingerprints_active else None
-    frontier: Deque[tuple[CrashPlan, Trace]] = deque(
-        (plan, ()) for plan in spec.crash_plans()
-    )
+    roots: tuple[CrashPlan, ...]
+    if quotient is not None:
+        roots = quotient.canonical_plans
+        stats.symmetry_plans_folded = len(plans) - len(roots)
+    else:
+        roots = plans
+
+    # -- incremental horizon extension --------------------------------------
+    # Under DPOR the choice structure of the first T-1 ticks is
+    # horizon-independent (drop branches, the only horizon-gated choice,
+    # are elided), so a cached horizon-(T-1) leaf set *is* the depth-
+    # (T-1) frontier: fixpoint leaves extend to T without re-execution,
+    # the rest re-execute with their leaf trace as prefix.
+    entries: list[tuple[CrashPlan, Trace]] = [(plan, ()) for plan in roots]
+    extended: list[Leaf] = []
+    if (
+        resolved_cache is not None
+        and digest is not None
+        and spec.reduction != "none"
+        and spec.reduction_config.incremental
+        and (not spec.lossy or spec.reduction_config.drop_elision)
+        and spec.horizon > 1
+        and spec.max_executions is None
+    ):
+        prev_digest = spec.with_(horizon=spec.horizon - 1).digest()
+        prev = (
+            resolved_cache.get_exploration_entry(prev_digest)
+            if prev_digest is not None
+            else None
+        )
+        if prev is not None and prev.leaves is not None:
+            seeded: list[tuple[CrashPlan, Trace]] = []
+            for plan, trace, fixpoint, run_index in prev.leaves:
+                if fixpoint:
+                    extended.append(
+                        (
+                            plan,
+                            trace,
+                            _extend_fixpoint(
+                                prev.runs[run_index], plan, trace, spec.horizon
+                            ),
+                            True,
+                        )
+                    )
+                else:
+                    seeded.append((plan, trace))
+            entries = seeded
+            stats.seeded_from_horizon = spec.horizon - 1
+            stats.fixpoint_leaves_reused = len(extended)
+
+    # -- the search ----------------------------------------------------------
     dfs = spec.strategy == "dfs"
-    unique: dict[Run, Run] = {}
+    collect_leaves = resolved_cache is not None and digest is not None
+    leaf_records: list[tuple[CrashPlan, Trace, bool, Run]] = []
+    plan_runs: dict[CrashPlan, dict[Run, Run]] = {}
     violations: list[Violation] = []
     reported: set[tuple[str, Run]] = set()
-    while frontier:
-        if (
-            spec.max_executions is not None
-            and stats.executions >= spec.max_executions
-        ):
-            stats.truncated = True
-            break
-        stats.max_frontier = max(stats.max_frontier, len(frontier))
-        plan, prefix = frontier.pop() if dfs else frontier.popleft()
-        result = _BoundedExecution(spec, plan, prefix, stats, seen).execute()
-        stats.executions += 1
-        for i in range(len(prefix), len(result.option_counts)):
-            options = result.option_counts[i]
-            stats.choice_points += 1
-            for alternative in range(1, options):
-                frontier.append((plan, result.taken[:i] + (alternative,)))
-                stats.branches_scheduled += 1
-        run = result.run
-        if run is None:
-            continue
+    refold: list[CrashPlan] = []
+
+    def consume(plan: CrashPlan, trace: Trace, run: Run, fixpoint: bool) -> None:
+        nonlocal quotient
         stats.runs_enumerated += 1
-        stored = unique.get(run)
-        if stored is not None:
-            # Equal timelines can arise from distinguishable branches --
-            # e.g. "copy dropped" vs "copy still in flight at T".  The
-            # quiescent variant is the stronger witness (its final cut
-            # is a fixpoint, so liveness verdicts are exact): promote it
-            # to representative and let the monitors re-judge.
-            if not run.meta.get("quiescent") or stored.meta.get("quiescent"):
-                continue
-            unique[run] = run
-        else:
-            unique[run] = run
-            stats.runs_unique += 1
-        for monitor in monitors:
-            key = (monitor.name, run)
-            if key in reported:
-                continue
-            stats.monitor_checks += 1
-            verdict = monitor.check(run)
-            if not verdict:
-                reported.add(key)
-                stats.violations += 1
-                violations.append(
-                    Violation(
-                        monitor=monitor.name,
-                        verdict=verdict,
-                        run=run,
-                        crash_plan=plan,
-                        trace=result.taken,
+        if collect_leaves:
+            leaf_records.append((plan, trace, fixpoint, run))
+        if quotient is not None and not run_respects_quotient(
+            run, quotient.movable
+        ):
+            # The dynamic asymmetry detector fired: this run's traffic
+            # touches a movable process, so renaming is not sound for
+            # this spec after all.  Fold back safely -- the folded plans
+            # will be explored directly, and no mirroring happens.
+            refold.extend(quotient.folded_plans())
+            stats.symmetry_active = False
+            stats.symmetry_plans_folded = 0
+            quotient = None
+        bucket = plan_runs.setdefault(plan, {})
+        stored = bucket.get(run)
+        if stored is not None and _rep_key(stored, plan_order) <= _rep_key(
+            run, plan_order
+        ):
+            return
+        bucket[run] = run
+        if stop_on_violation:
+            for monitor in monitors:
+                key = (monitor.name, run)
+                if key in reported:
+                    continue
+                stats.monitor_checks += 1
+                verdict = monitor.check(run)
+                if not verdict:
+                    reported.add(key)
+                    stats.violations += 1
+                    violations.append(
+                        Violation(
+                            monitor=monitor.name,
+                            verdict=verdict,
+                            run=run,
+                            crash_plan=plan,
+                            trace=trace,
+                        )
                     )
-                )
-                if stop_on_violation:
                     stats.stopped_on_violation = True
-                    frontier.clear()
-                    break
+                    return
+
+    frontier: Deque[tuple[CrashPlan, Trace]] = deque(entries)
+
+    def drain(shardable: bool) -> None:
+        """Exhaust the frontier: serial expansion, then shards if wide."""
+        widen = workers * _WIDEN_FACTOR if shardable and workers > 1 else 0
+        while frontier and not stats.stopped_on_violation:
+            if (
+                spec.max_executions is not None
+                and stats.executions >= spec.max_executions
+            ):
+                stats.truncated = True
+                return
+            if len(frontier) > stats.max_frontier:
+                stats.max_frontier = len(frontier)
+            if widen and len(frontier) >= widen:
+                break  # wide enough: hand the rest to the shard pool
+            if widen:
+                plan, prefix = frontier.popleft()  # widen breadth-first
+            else:
+                plan, prefix = frontier.pop() if dfs else frontier.popleft()
+            result = _BoundedExecution(spec, plan, prefix, stats).execute()
+            stats.executions += 1
+            for i in range(len(prefix), len(result.option_counts)):
+                options = result.option_counts[i]
+                stats.choice_points += 1
+                for alternative in range(1, options):
+                    frontier.append((plan, result.taken[:i] + (alternative,)))
+                    stats.branches_scheduled += 1
+            consume(plan, result.taken, result.run, result.fixpoint)
+        if not frontier or stats.stopped_on_violation:
+            return
+        from repro.explore.sharding import run_sharded
+
+        shard_results = run_sharded(spec, list(frontier), workers)
+        frontier.clear()
+        try:
+            for shard_leaves, shard_stats in shard_results:
+                stats.merge_shard(shard_stats)
+                for leaf in shard_leaves:
+                    consume(*leaf)
+                    if stats.stopped_on_violation:
+                        return
+        finally:
+            shard_results.close()
+
+    for leaf in extended:
         if stats.stopped_on_violation:
             break
+        consume(*leaf)
+    if not stats.stopped_on_violation:
+        drain(shardable=True)
+    while refold and not stats.stopped_on_violation and not stats.truncated:
+        batch = refold[:]
+        refold.clear()
+        frontier.extend((plan, ()) for plan in batch)
+        drain(shardable=False)
 
-    runs = tuple(unique.values())
+    # -- symmetry mirroring ---------------------------------------------------
+    if quotient is not None and not stats.stopped_on_violation:
+        for plan in quotient.canonical_plans:
+            bucket = plan_runs.get(plan)
+            if not bucket:
+                continue
+            for mirrored_plan, mapping in quotient.mirrors_of(plan):
+                target = plan_runs.setdefault(mirrored_plan, {})
+                for source in bucket.values():
+                    image = rename_run(source, mapping, plan=mirrored_plan)
+                    stats.symmetry_runs_mirrored += 1
+                    stored = target.get(image)
+                    if stored is None or _rep_key(
+                        image, plan_order
+                    ) < _rep_key(stored, plan_order):
+                        target[image] = image
+
+    # -- canonical merge and ordering ----------------------------------------
+    unique: dict[Run, Run] = {}
+    for plan in plans:
+        bucket = plan_runs.get(plan)
+        if not bucket:
+            continue
+        for run in bucket.values():
+            stored = unique.get(run)
+            if stored is None or _rep_key(run, plan_order) < _rep_key(
+                stored, plan_order
+            ):
+                unique[run] = run
+    runs_final = tuple(
+        sorted(
+            unique.values(),
+            key=lambda r: (
+                plan_order.get(r.meta["crash_plan"], len(plan_order)),
+                tuple(r.meta["trace"]),
+            ),
+        )
+    )
+    stats.runs_unique = len(runs_final)
+
+    if not stop_on_violation:
+        violations = list(
+            _check_monitors(
+                runs_final, monitors, stats, stop_on_violation=False
+            )
+        )
+
     if (
         resolved_cache is not None
         and digest is not None
         and stats.exhaustive
-        and runs
+        and runs_final
     ):
-        resolved_cache.put_exploration(digest, runs, stats)
+        index_of = {run: i for i, run in enumerate(runs_final)}
+        resolved_cache.put_exploration(
+            digest,
+            runs_final,
+            stats,
+            leaves=tuple(
+                (plan, trace, fixpoint, index_of[run])
+                for plan, trace, fixpoint, run in leaf_records
+            ),
+        )
     return ExploreReport(
         spec=spec,
-        runs=runs,
+        runs=runs_final,
         stats=stats,
         violations=tuple(violations),
         wall_time=time.perf_counter() - started,
@@ -523,7 +829,7 @@ def _check_monitors(
     *,
     stop_on_violation: bool,
 ) -> Iterator[Violation]:
-    """Monitor a pre-enumerated (cached) run set."""
+    """Monitor a canonically ordered (final or cached) run set."""
     for run in runs:
         for monitor in monitors:
             stats.monitor_checks += 1

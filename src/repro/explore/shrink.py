@@ -30,8 +30,9 @@ from dataclasses import dataclass
 from repro.detectors.properties import PropertyVerdict
 from repro.explore.monitors import RunMonitor, Violation
 from repro.explore.scheduler import Trace, replay
+from repro.explore.spec import ExploreSpec
+from repro.explore.symmetry import Renaming
 from repro.model.run import Run
-from repro.runtime.spec import ExploreSpec
 from repro.sim.failures import CrashPlan
 
 __all__ = ["ShrinkResult", "shrink_violation"]
@@ -47,6 +48,7 @@ class ShrinkResult:
     verdict: PropertyVerdict
     attempts: int  # candidate replays tried
     reductions: int  # candidates accepted (strictly simplifying steps)
+    renaming: Renaming = ()  # non-empty for symmetry-mirrored witnesses
 
     @property
     def crashes(self) -> dict[str, int]:
@@ -54,10 +56,14 @@ class ShrinkResult:
 
 
 def _violates(
-    spec: ExploreSpec, monitor: RunMonitor, plan: CrashPlan, trace: Trace
+    spec: ExploreSpec,
+    monitor: RunMonitor,
+    plan: CrashPlan,
+    trace: Trace,
+    renaming: Renaming,
 ) -> tuple[Run, PropertyVerdict] | None:
     """Replay a candidate; return it iff the monitor still fails."""
-    run = replay(spec, plan, trace)
+    run = replay(spec, plan, trace, renaming=renaming or None)
     verdict = monitor.check(run)
     return None if verdict else (run, verdict)
 
@@ -82,10 +88,15 @@ def shrink_violation(
 
     ``monitor`` must be the monitor object whose check produced the
     violation (a :class:`Violation` carries only the monitor's *name*).
+
+    Symmetry-mirrored violations carry ``meta["renaming"]``; every
+    candidate replays the canonical preimage and is renamed back, so the
+    shrunk witness lives under the *original* (mirrored) crash plan.
     """
     plan = violation.crash_plan
     trace = _normalize(violation.trace)
-    current = _violates(spec, monitor, plan, trace)
+    renaming: Renaming = tuple(violation.run.meta.get("renaming", ()))
+    current = _violates(spec, monitor, plan, trace, renaming)
     attempts = 1
     if current is None:
         raise ValueError(
@@ -104,7 +115,7 @@ def shrink_violation(
             candidate_plan = CrashPlan(
                 tuple((p, t) for p, t in plan.crashes if p != pid)
             )
-            attempt = _violates(spec, monitor, candidate_plan, trace)
+            attempt = _violates(spec, monitor, candidate_plan, trace, renaming)
             attempts += 1
             if attempt is not None:
                 plan, current = candidate_plan, attempt
@@ -118,7 +129,7 @@ def shrink_violation(
             if candidate_trace == trace:
                 cut //= 2
                 continue
-            attempt = _violates(spec, monitor, plan, candidate_trace)
+            attempt = _violates(spec, monitor, plan, candidate_trace, renaming)
             attempts += 1
             if attempt is not None:
                 trace, current = candidate_trace, attempt
@@ -136,7 +147,7 @@ def shrink_violation(
             candidate_trace = _normalize(
                 trace[:index] + (0,) + trace[index + 1 :]
             )
-            attempt = _violates(spec, monitor, plan, candidate_trace)
+            attempt = _violates(spec, monitor, plan, candidate_trace, renaming)
             attempts += 1
             if attempt is not None:
                 trace, current = candidate_trace, attempt
@@ -155,4 +166,5 @@ def shrink_violation(
         verdict=verdict,
         attempts=attempts,
         reductions=reductions,
+        renaming=renaming,
     )

@@ -1,0 +1,235 @@
+"""The exploration specification: what to enumerate, and how hard to reduce.
+
+This is the home of :class:`ExploreSpec` (moved here from
+``repro.runtime.spec``; the old import path re-exports it with a
+``DeprecationWarning``).  The old boolean ``por``/``fingerprints``
+toggles are replaced by one ``reduction`` mode plus a
+:class:`ReductionConfig` of per-technique switches:
+
+* ``reduction="none"`` -- the unreduced reference semantics: one branch
+  per deliverable copy, one drop/accept branch per lossy submission.
+  This is the baseline the differential tests compare against.
+* ``reduction="dpor"`` (default) -- dynamic partial-order reduction
+  over the delivery-choice independence relation: interchangeable
+  in-flight copies collapse into one branch (persistent/source sets),
+  and drop/accept branches are *elided* entirely -- every dropped-copy
+  run is observationally reproduced by an accept-and-defer schedule, so
+  the drop branch sleeps (sleep sets from observed conflicts), and
+  quiescence is recovered by synthesizing an R5-feasible drop schedule
+  for the copies left in flight (see DESIGN.md section 12).
+* ``reduction="dpor+symmetry"`` -- additionally quotient the crash-plan
+  space by the process-renaming group when the configuration is
+  symmetric (assumption A1: failures do not depend on process identity);
+  an automatic asymmetry detector (pinned workload initiators, pid-
+  mentioning protocol kwargs, attached detectors) disables the quotient
+  safely, never unsoundly.
+
+The legacy keyword arguments still work for one release::
+
+    ExploreSpec(..., por=False)        # DeprecationWarning -> reduction="none"
+    ExploreSpec(..., fingerprints=...) # DeprecationWarning -> ignored (retired)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import pickle
+import warnings
+from dataclasses import InitVar, dataclass, replace
+from typing import Optional
+
+from repro.detectors.base import DetectorOracle
+from repro.model.context import Context
+from repro.model.events import ActionId, ProcessId
+from repro.sim.executor import ProtocolFactory
+from repro.sim.failures import CrashPlan
+
+__all__ = ["ExploreSpec", "ReductionConfig", "REDUCTION_MODES"]
+
+#: The legal ``ExploreSpec.reduction`` values.
+REDUCTION_MODES = ("none", "dpor", "dpor+symmetry")
+
+
+@dataclass(frozen=True)
+class ReductionConfig:
+    """Per-technique switches inside a reduction mode.
+
+    All techniques are run-set-preserving (the differential tests in
+    ``tests/test_explore_reduction_api.py`` assert bit-identical
+    ``Knows``/``C_G`` answers against ``reduction="none"``), so the
+    switches exist for debugging and ablation, not for soundness.
+
+    * ``delivery_grouping`` -- branch once per distinct ``(sender,
+      message)`` class of deliverable copies instead of once per copy;
+    * ``drop_elision`` -- never branch on drop/accept: dropped-copy runs
+      are reproduced by defer schedules and quiescence is synthesized;
+    * ``symmetry`` -- ``"auto"`` quotients crash plans by process
+      renaming when the spec passes the asymmetry detector, ``"on"``
+      forces the quotient (caller asserts symmetry), ``"off"`` disables
+      it; only consulted under ``reduction="dpor+symmetry"``;
+    * ``incremental`` -- seed the horizon-T frontier from a cached
+      horizon-(T-1) exploration of the otherwise-identical spec.
+    """
+
+    delivery_grouping: bool = True
+    drop_elision: bool = True
+    symmetry: str = "auto"
+    incremental: bool = True
+
+    def __post_init__(self) -> None:
+        if self.symmetry not in ("auto", "on", "off"):
+            raise ValueError("symmetry must be 'auto', 'on', or 'off'")
+
+
+def _legacy_reduction(
+    por: Optional[bool], fingerprints: Optional[bool]
+) -> Optional[str]:
+    """Map the retired boolean toggles onto a reduction mode (warning)."""
+    mode: Optional[str] = None
+    if por is not None:
+        warnings.warn(
+            "ExploreSpec(por=...) is deprecated; use "
+            "reduction='dpor' / reduction='none' instead",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        mode = "dpor" if por else "none"
+    if fingerprints is not None:
+        warnings.warn(
+            "ExploreSpec(fingerprints=...) is deprecated and ignored: "
+            "fingerprint pruning was retired in favour of dynamic "
+            "partial-order reduction (reduction='dpor')",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class ExploreSpec:
+    """A bounded exhaustive exploration, declaratively.
+
+    Where :class:`repro.runtime.EnsembleSpec` *samples* adversary
+    schedules through seeds, an ``ExploreSpec`` names the whole
+    nondeterminism space and asks :func:`repro.explore.explore` to
+    enumerate it: every crash pattern with at most ``max_failures``
+    crashes at ticks drawn from ``crash_ticks``, and -- per reachable
+    configuration -- every delivery/defer choice (message
+    reordering/delay) plus, when ``lossy`` is set, every drop/accept
+    behaviour the R5 fairness budget permits.  The result is the
+    *complete* set of horizon-``T`` runs of the context, which is what
+    makes the epistemic kernel's answers sound.
+
+    ``reduction`` selects the state-space reduction mode (see module
+    docstring); ``reduction_config`` tunes the individual techniques.
+    ``max_executions`` is a safety valve: when hit, exploration stops
+    early and the resulting system is marked *incomplete*
+    (``ExploreStats.truncated``).
+    """
+
+    processes: tuple[ProcessId, ...]
+    protocol: ProtocolFactory
+    horizon: int = 4
+    max_failures: int = 0
+    crash_ticks: tuple[int, ...] = (1,)
+    workload: tuple[tuple[int, ProcessId, ActionId], ...] = ()
+    detector: DetectorOracle | None = None
+    lossy: bool = False
+    max_consecutive_drops: int = 2
+    reduction: str = "dpor"
+    reduction_config: ReductionConfig = ReductionConfig()
+    strategy: str = "dfs"
+    max_executions: int | None = None
+    context: Context | None = None
+    #: Retired boolean toggles, accepted for one release with a warning.
+    por: InitVar[Optional[bool]] = None
+    fingerprints: InitVar[Optional[bool]] = None
+
+    def __post_init__(
+        self, por: Optional[bool], fingerprints: Optional[bool]
+    ) -> None:
+        legacy = _legacy_reduction(por, fingerprints)
+        if legacy is not None:
+            object.__setattr__(self, "reduction", legacy)
+        object.__setattr__(self, "processes", tuple(self.processes))
+        object.__setattr__(self, "crash_ticks", tuple(self.crash_ticks))
+        object.__setattr__(self, "workload", tuple(sorted(self.workload)))
+        if not self.processes:
+            raise ValueError("an ExploreSpec needs at least one process")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if not 0 <= self.max_failures <= len(self.processes):
+            raise ValueError("max_failures must be in [0, n]")
+        if any(t < 1 for t in self.crash_ticks):
+            raise ValueError("crash ticks must be >= 1")
+        if self.max_consecutive_drops < 1:
+            raise ValueError("max_consecutive_drops must be >= 1 (R5)")
+        if self.reduction not in REDUCTION_MODES:
+            raise ValueError(
+                f"reduction must be one of {REDUCTION_MODES}, "
+                f"got {self.reduction!r}"
+            )
+        if self.strategy not in ("dfs", "bfs"):
+            raise ValueError("strategy must be 'dfs' or 'bfs'")
+
+    def with_(self, **changes: object) -> "ExploreSpec":
+        """A copy with the given fields replaced (sweep helper).
+
+        Accepts the retired ``por``/``fingerprints`` keys for one
+        release, mapping them onto ``reduction`` with a warning.
+        """
+        legacy = _legacy_reduction(
+            changes.pop("por", None),  # type: ignore[arg-type]
+            changes.pop("fingerprints", None),  # type: ignore[arg-type]
+        )
+        if legacy is not None:
+            changes.setdefault("reduction", legacy)
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def crash_plans(self) -> tuple[CrashPlan, ...]:
+        """Every crash pattern of the bounded adversary, in a fixed order.
+
+        One plan per (subset S with \\|S\\| <= max_failures, assignment of a
+        crash tick from ``crash_ticks`` to each member of S); plans whose
+        every crash lands past the horizon collapse onto already-listed
+        plans at exploration time (runs are deduplicated by value).
+        """
+        plans: list[CrashPlan] = [CrashPlan.none()]
+        seen = {plans[0]}
+        ticks = tuple(dict.fromkeys(self.crash_ticks))
+        for size in range(1, self.max_failures + 1):
+            for subset in itertools.combinations(self.processes, size):
+                for assignment in itertools.product(ticks, repeat=size):
+                    plan = CrashPlan.of(dict(zip(subset, assignment)))
+                    if plan not in seen:
+                        seen.add(plan)
+                        plans.append(plan)
+        return tuple(plans)
+
+    def digest(self) -> str | None:
+        """Stable content hash, or None when the spec is not picklable."""
+        try:
+            payload = pickle.dumps(
+                (
+                    "explore-v2",
+                    self.processes,
+                    self.protocol,
+                    self.horizon,
+                    self.max_failures,
+                    self.crash_ticks,
+                    self.workload,
+                    self.detector,
+                    self.lossy,
+                    self.max_consecutive_drops,
+                    self.reduction,
+                    self.reduction_config,
+                    self.strategy,
+                    self.max_executions,
+                    self.context,
+                ),
+                protocol=4,
+            )
+        except Exception:
+            return None
+        return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,353 @@
+"""Process-permutation symmetry quotienting for the explorer.
+
+Assumption A1 of the paper makes failures independent of process
+identity, and a *uniform* joint protocol runs the same code at every
+process -- so at the level of the paper's model the run set is
+equivariant under renaming processes nothing else pins down.  The
+*executor* is less symmetric than the model: it serializes multi-
+destination sends in global process-list order (one outbox event per
+tick), so a process earlier in the list receives broadcast copies
+earlier, and orbit crash plans can have genuinely different run sets
+(DESIGN.md section 12 records the counterexample).  Renaming a run's
+timelines is therefore only sound for processes that are *bystanders*:
+they neither send nor receive nor get mentioned by anyone -- their
+whole observable contribution is crash timing, which A1 makes
+symmetric.
+
+The quotient is taken in two layers:
+
+* the **static asymmetry detector** (:func:`symmetric_spec`) requires a
+  detector-free spec, a :class:`repro.sim.process.UniformProtocol` with
+  pid-free kwargs, and an *empty workload* -- the cheap necessary
+  conditions for crash-only dynamics.  Workload-named pids (and pids in
+  action ids) are additionally *pinned* out of the permutation group,
+  so ``symmetry="on"`` with a workload degrades to a smaller group
+  instead of breaking.
+* the **dynamic asymmetry detector** is the guarantee: while exploring
+  canonical plans the scheduler checks every produced run with
+  :func:`run_respects_quotient`; the first run whose traffic touches a
+  movable process disables the quotient and the folded plans are
+  explored directly.  Symmetry can therefore *never* change the result,
+  only the cost of obtaining it.
+
+Mirrored runs carry ``meta["renaming"]`` -- the non-identity
+``(canonical_pid, actual_pid)`` pairs -- so
+:func:`repro.explore.replay` can re-execute the canonical preimage and
+rename the result, keeping every cached/monitored run replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.model.events import (
+    CrashEvent,
+    DoEvent,
+    Event,
+    GeneralizedSuspicion,
+    InitEvent,
+    Message,
+    ProcessId,
+    ReceiveEvent,
+    SendEvent,
+    StandardSuspicion,
+    SuspectEvent,
+)
+from repro.model.run import Run
+from repro.sim.failures import CrashPlan
+from repro.sim.process import UniformProtocol
+
+from repro.explore.spec import ExploreSpec
+
+__all__ = [
+    "Renaming",
+    "SymmetryQuotient",
+    "pinned_processes",
+    "rename_plan",
+    "rename_run",
+    "run_respects_quotient",
+    "symmetric_spec",
+    "symmetry_quotient",
+]
+
+#: The serialized form of a permutation: sorted non-identity
+#: ``(canonical_pid, actual_pid)`` pairs.
+Renaming = tuple[tuple[ProcessId, ProcessId], ...]
+
+
+def _mentions_pid(value: object, pids: frozenset[str]) -> bool:
+    """Does a (nested, hashable) value embed a process id string?"""
+    if isinstance(value, str):
+        return value in pids
+    if isinstance(value, (tuple, list, frozenset, set)):
+        return any(_mentions_pid(item, pids) for item in value)
+    if isinstance(value, Mapping):
+        return any(
+            _mentions_pid(k, pids) or _mentions_pid(v, pids)
+            for k, v in value.items()
+        )
+    return False
+
+
+def pinned_processes(spec: ExploreSpec) -> frozenset[ProcessId]:
+    """Processes the workload names, which every permutation must fix."""
+    pids = frozenset(spec.processes)
+    pinned: set[ProcessId] = set()
+    for _tick, pid, action in spec.workload:
+        pinned.add(pid)
+        for part in action:
+            if isinstance(part, str) and part in pids:
+                pinned.add(part)
+    return frozenset(pinned)
+
+
+def symmetric_spec(spec: ExploreSpec) -> bool:
+    """The static asymmetry detector: may the renaming quotient be tried?
+
+    Conservative by construction -- any ingredient that *could* treat
+    processes asymmetrically disables the quotient.  A non-empty
+    workload initiates coordination traffic, and the executor's
+    serialized broadcast order makes message-receiving processes
+    order-distinguishable, so only crash-only dynamics pass.  This is a
+    *necessary* screen; :func:`run_respects_quotient` is the per-run
+    guarantee.
+    """
+    if spec.detector is not None:
+        return False
+    if spec.workload:
+        return False
+    if not isinstance(spec.protocol, UniformProtocol):
+        return False
+    pids = frozenset(spec.processes)
+    return not any(
+        _mentions_pid(key, pids) or _mentions_pid(value, pids)
+        for key, value in spec.protocol.kwargs
+    )
+
+
+def run_respects_quotient(run: Run, movable: frozenset[ProcessId]) -> bool:
+    """The dynamic asymmetry detector: is renaming this run sound?
+
+    True iff every movable process is a pure bystander in ``run``: its
+    own timeline holds nothing but its crash event, and no other
+    process's event names it (send target, receive source, suspicion,
+    payload, action id).  Then renaming movable pids only permutes crash
+    timelines -- trivially equivariant.  The scheduler calls this on
+    every canonical-plan run and falls back to direct exploration of
+    the folded plans on the first False.
+    """
+    for pid in run.processes:
+        for _tick, event in run.timeline(pid):
+            if pid in movable:
+                if not isinstance(event, CrashEvent):
+                    return False
+                continue
+            if isinstance(event, (SendEvent, ReceiveEvent)):
+                other = (
+                    event.receiver
+                    if isinstance(event, SendEvent)
+                    else event.sender
+                )
+                if other in movable or _mentions_pid(
+                    event.message.payload, movable
+                ):
+                    return False
+            elif isinstance(event, (InitEvent, DoEvent)):
+                if _mentions_pid(event.action, movable):
+                    return False
+            elif isinstance(event, SuspectEvent):  # pragma: no cover
+                return False  # detectors already fail the static gate
+    return True
+
+
+def _apply(mapping: Mapping[ProcessId, ProcessId], pid: ProcessId) -> ProcessId:
+    return mapping.get(pid, pid)
+
+
+def rename_plan(
+    plan: CrashPlan, mapping: Mapping[ProcessId, ProcessId]
+) -> CrashPlan:
+    """The crash plan with every faulty process renamed."""
+    return CrashPlan.of({_apply(mapping, p): t for p, t in plan.crashes})
+
+
+def _rename_value(value: object, mapping: Mapping[ProcessId, ProcessId]) -> object:
+    """Rename pid strings inside a payload/action value.
+
+    Process ids are plain strings, so any string equal to a pid is
+    treated as naming that process -- the repo-wide convention (action
+    ids tag their initiator, payloads embed sender pids).
+    """
+    if isinstance(value, str):
+        return mapping.get(value, value)
+    if isinstance(value, tuple):
+        return tuple(_rename_value(item, mapping) for item in value)
+    if isinstance(value, frozenset):
+        return frozenset(_rename_value(item, mapping) for item in value)
+    return value
+
+
+def _rename_event(event: Event, mapping: Mapping[ProcessId, ProcessId]) -> Event:
+    if isinstance(event, SendEvent):
+        return SendEvent(
+            _apply(mapping, event.sender),
+            _apply(mapping, event.receiver),
+            Message(
+                event.message.kind,
+                _rename_value(event.message.payload, mapping),
+            ),
+        )
+    if isinstance(event, ReceiveEvent):
+        return ReceiveEvent(
+            _apply(mapping, event.receiver),
+            _apply(mapping, event.sender),
+            Message(
+                event.message.kind,
+                _rename_value(event.message.payload, mapping),
+            ),
+        )
+    if isinstance(event, InitEvent):
+        return InitEvent(
+            _apply(mapping, event.process),
+            _rename_value(event.action, mapping),  # type: ignore[arg-type]
+        )
+    if isinstance(event, DoEvent):
+        return DoEvent(
+            _apply(mapping, event.process),
+            _rename_value(event.action, mapping),  # type: ignore[arg-type]
+        )
+    if isinstance(event, CrashEvent):
+        return CrashEvent(_apply(mapping, event.process))
+    if isinstance(event, SuspectEvent):  # pragma: no cover - symmetric specs
+        report = event.report  # have no detector; kept for completeness
+        renamed = frozenset(_apply(mapping, p) for p in report.suspects)
+        if isinstance(report, GeneralizedSuspicion):
+            return SuspectEvent(
+                _apply(mapping, event.process),
+                GeneralizedSuspicion(renamed, report.count),
+                derived=event.derived,
+            )
+        return SuspectEvent(
+            _apply(mapping, event.process),
+            StandardSuspicion(renamed),
+            derived=event.derived,
+        )
+    raise TypeError(f"cannot rename event {event!r}")  # pragma: no cover
+
+
+def rename_run(
+    run: Run,
+    mapping: Mapping[ProcessId, ProcessId],
+    *,
+    plan: CrashPlan,
+) -> Run:
+    """The equivariant image of a run under a process renaming.
+
+    ``meta`` keeps the canonical trace (it replays the canonical
+    preimage) and records the renaming, so
+    ``replay(spec, plan, trace, renaming=...)`` round-trips.
+    """
+    timelines = {
+        _apply(mapping, p): [
+            (t, _rename_event(e, mapping)) for t, e in run.timeline(p)
+        ]
+        for p in run.processes
+    }
+    meta = dict(run.meta)
+    meta["crash_plan"] = plan
+    meta["renaming"] = tuple(
+        sorted((src, dst) for src, dst in mapping.items() if src != dst)
+    )
+    return Run(run.processes, timelines, duration=run.duration, meta=meta)
+
+
+class SymmetryQuotient:
+    """The crash-plan orbit structure of one symmetric spec.
+
+    ``canonical_plans`` lists one representative per orbit in the
+    original plan order; ``mirrors_of(plan)`` yields the folded orbit
+    members with the witness permutation (canonical -> actual) that
+    reconstructs their runs.
+    """
+
+    def __init__(
+        self,
+        canonical_plans: tuple[CrashPlan, ...],
+        mirrors: dict[CrashPlan, list[tuple[CrashPlan, dict[ProcessId, ProcessId]]]],
+        movable: frozenset[ProcessId],
+    ) -> None:
+        self.canonical_plans = canonical_plans
+        self._mirrors = mirrors
+        self.movable = movable
+
+    def mirrors_of(
+        self, plan: CrashPlan
+    ) -> list[tuple[CrashPlan, dict[ProcessId, ProcessId]]]:
+        return self._mirrors.get(plan, [])
+
+    @property
+    def folded(self) -> int:
+        return sum(len(v) for v in self._mirrors.values())
+
+    def folded_plans(self) -> list[CrashPlan]:
+        """Every non-representative plan (the dynamic-disable fallback
+        explores exactly these), in canonical-plan-major order."""
+        return [
+            mirrored
+            for plan in self.canonical_plans
+            for mirrored, _pi in self._mirrors.get(plan, [])
+        ]
+
+
+def symmetry_quotient(
+    spec: ExploreSpec, plans: tuple[CrashPlan, ...]
+) -> Optional[SymmetryQuotient]:
+    """Fold the crash plans into orbits, or None when symmetry is off.
+
+    Honors ``spec.reduction_config.symmetry``: ``"off"`` disables,
+    ``"auto"`` requires :func:`symmetric_spec`, ``"on"`` trusts the
+    caller's symmetry assertion (the dynamic per-run check still
+    guards the result either way; workload pinning still applies).
+
+    A plan's *canonical form* assigns its movable crash-tick multiset,
+    sorted ascending, to the earliest movable processes (pinned crashes
+    stay put) -- computable directly, without enumerating the
+    ``|movable|!`` permutations.  The witness maps canonical crashed
+    pids to actual crashed pids matched by (tick, pid) order, and the
+    bystander remainders positionally, so it is deterministic.
+    """
+    policy = spec.reduction_config.symmetry
+    if policy == "off":
+        return None
+    if policy == "auto" and not symmetric_spec(spec):
+        return None
+    pinned = pinned_processes(spec)
+    movable_list = [p for p in spec.processes if p not in pinned]
+    if len(movable_list) < 2:
+        return None  # the renaming group is trivial
+    movable = frozenset(movable_list)
+    canonical: list[CrashPlan] = []
+    mirrors: dict[CrashPlan, list[tuple[CrashPlan, dict[ProcessId, ProcessId]]]] = {}
+    for plan in plans:
+        pinned_crashes = {p: t for p, t in plan.crashes if p not in movable}
+        mov_crashes = [(p, t) for p, t in plan.crashes if p in movable]
+        ticks = sorted(t for _p, t in mov_crashes)
+        canon = CrashPlan.of(
+            pinned_crashes
+            | {movable_list[i]: ticks[i] for i in range(len(ticks))}
+        )
+        if plan == canon:
+            canonical.append(plan)
+            continue
+        actual_by_tick = [
+            p for p, _t in sorted(mov_crashes, key=lambda pt: (pt[1], pt[0]))
+        ]
+        mapping: dict[ProcessId, ProcessId] = dict(
+            zip(movable_list[: len(ticks)], actual_by_tick)
+        )
+        taken = set(actual_by_tick)
+        spare = iter(p for p in movable_list if p not in taken)
+        for canon_pid in movable_list[len(ticks) :]:
+            mapping[canon_pid] = next(spare)
+        mirrors.setdefault(canon, []).append((plan, mapping))
+    return SymmetryQuotient(tuple(canonical), mirrors, movable)

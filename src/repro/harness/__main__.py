@@ -50,8 +50,8 @@ usage: python -m repro.harness explore [options]
   --lossy                    fair-lossy channel (else reliable)
   --drop-budget K            max consecutive drops per channel (default 2)
   --monitor udc|nudc         uniformity monitor to attach    (default udc)
-  --no-por                   disable partial-order reduction
-  --no-fingerprints          disable state-fingerprint pruning
+  --reduction MODE           none|dpor|dpor+symmetry         (default dpor)
+  --workers N                frontier shards (process pool)  (default 1)
   --strategy dfs|bfs         frontier discipline             (default dfs)
   --stop-on-violation        halt at the first violation
   --shrink                   minimize the first violation
@@ -60,10 +60,16 @@ usage: python -m repro.harness explore [options]
 
 def _explore_main(argv: list[str]) -> int:
     """``python -m repro.harness explore ...``: exhaustive bounded checking."""
+    import warnings
+
     from repro.core.protocols import NUDCProcess, ReliableUDCProcess
-    from repro.explore import UniformityMonitor, explore, shrink_violation
+    from repro.explore import (
+        ExploreSpec,
+        UniformityMonitor,
+        explore,
+        shrink_violation,
+    )
     from repro.model.context import make_process_ids
-    from repro.runtime import ExploreSpec
     from repro.sim.process import uniform_protocol
     from repro.workloads.generators import single_action
 
@@ -76,6 +82,8 @@ def _explore_main(argv: list[str]) -> int:
         "--init": "p1:1",
         "--drop-budget": "2",
         "--monitor": "udc",
+        "--reduction": "dpor",
+        "--workers": "1",
         "--strategy": "dfs",
     }
     flags = {"--lossy", "--no-por", "--no-fingerprints", "--stop-on-violation",
@@ -103,6 +111,19 @@ def _explore_main(argv: list[str]) -> int:
         print(f"unknown protocol {opts['--protocol']!r} (nudc | reliable)")
         return 2
     init_proc, _, init_tick = opts["--init"].partition(":")
+    reduction = opts["--reduction"]
+    for legacy, replacement in (
+        ("--no-por", "--reduction none"),
+        ("--no-fingerprints", "--reduction dpor"),
+    ):
+        if legacy in given:
+            warnings.warn(
+                f"{legacy} is deprecated; use {replacement}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+    if "--no-por" in given:
+        reduction = "none"
     try:
         spec = ExploreSpec(
             processes=make_process_ids(int(opts["--n"])),
@@ -115,8 +136,7 @@ def _explore_main(argv: list[str]) -> int:
             workload=single_action(init_proc, tick=int(init_tick or "1")),
             lossy="--lossy" in given,
             max_consecutive_drops=int(opts["--drop-budget"]),
-            por="--no-por" not in given,
-            fingerprints="--no-fingerprints" not in given,
+            reduction=reduction,
             strategy=opts["--strategy"],
         )
     except ValueError as exc:
@@ -127,6 +147,7 @@ def _explore_main(argv: list[str]) -> int:
         spec,
         monitors=[monitor],
         stop_on_violation="--stop-on-violation" in given,
+        workers=int(opts["--workers"]),
     )
     print(report.summary())
     if report.violations and "--shrink" in given:

@@ -1,4 +1,4 @@
-"""Determinism rules (DET001–DET005).
+"""Determinism rules (DET001–DET006).
 
 Replay, the content-addressed run cache, and the explorer's coordinate
 replay all assume that a (protocol, seed, crash plan) triple yields a
@@ -17,6 +17,7 @@ and log wall-clock freely).
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from ..context import ModuleUnderLint
@@ -360,3 +361,165 @@ class IdentityKeyRule(Rule):
                     node.col_offset,
                     "id()-keyed state in deterministic code",
                 )
+
+
+#: worklist-flavoured names whose iteration order the explorer's
+#: shard-merge and dedup contracts depend on
+_WORKLIST_NAME = re.compile(
+    r"(?:^|_)(frontier|sleep|orbit|worklist)(?:_|s?$|set)", re.IGNORECASE
+)
+
+#: constructors whose results iterate in a defined, stable order
+_ORDERED_CALLS = frozenset({"list", "tuple", "deque", "sorted", "reversed"})
+
+_ORDERED_ANNOTATIONS = frozenset(
+    {"list", "tuple", "deque", "List", "Tuple", "Deque", "Sequence"}
+)
+
+
+class _WorklistIndex:
+    """Which worklist-named locals are *provably* ordered?
+
+    A name is provably ordered when every binding we can see is a list/
+    tuple literal, a comprehension, an ordered-constructor call
+    (``list``/``tuple``/``deque``/``sorted``), or carries an ordered
+    annotation.  One opaque or set-flavoured binding makes it suspect.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.ordered: set[str] = set()
+        suspect: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and _WORKLIST_NAME.search(
+                        target.id
+                    ):
+                        bucket = (
+                            self.ordered
+                            if self._is_ordered_expr(node.value)
+                            else suspect
+                        )
+                        bucket.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if _WORKLIST_NAME.search(node.target.id):
+                    if self._is_ordered_annotation(node.annotation):
+                        self.ordered.add(node.target.id)
+                    else:
+                        suspect.add(node.target.id)
+            elif isinstance(node, ast.arg) and _WORKLIST_NAME.search(node.arg):
+                if node.annotation is not None and self._is_ordered_annotation(
+                    node.annotation
+                ):
+                    self.ordered.add(node.arg)
+                else:
+                    suspect.add(node.arg)
+        self.ordered -= suspect
+
+    @staticmethod
+    def _is_ordered_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Tuple, ast.ListComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            return name in _ORDERED_CALLS
+        return False
+
+    @staticmethod
+    def _is_ordered_annotation(node: ast.expr) -> bool:
+        target = node
+        if isinstance(target, ast.Constant) and isinstance(target.value, str):
+            # ``from __future__ import annotations`` stringizes nothing at
+            # the AST level, but explicit string annotations do appear
+            try:
+                target = ast.parse(target.value, mode="eval").body
+            except SyntaxError:  # pragma: no cover - malformed annotation
+                return False
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Name):
+            return target.id in _ORDERED_ANNOTATIONS
+        if isinstance(target, ast.Attribute):
+            return target.attr in _ORDERED_ANNOTATIONS
+        return False
+
+
+@register
+class UnorderedWorklistRule(Rule):
+    """DET006: the explorer's dedup, shard merge, and cache layers all
+    assume frontier/worklist containers iterate in one deterministic
+    order (results must be identical for any worker count).  Iterating a
+    worklist-named container that is not provably an ordered sequence
+    risks silently breaking that contract."""
+
+    id = "DET006"
+    summary = "iteration over a worklist container of unproven order"
+    hint = (
+        "keep frontier/sleep-set/orbit/worklist state in a list or "
+        "deque (or iterate sorted(...)); sets and opaque values have no "
+        "stable order and break worker-count-independent results"
+    )
+
+    #: only the explorer package carries the shard-merge contract
+    _PACKAGES = ("repro.explore",)
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        if not mod.in_packages(self._PACKAGES):
+            return
+        index = _WorklistIndex(mod.tree)
+        safe_iters: set[int] = set()
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SAFE_CALLS
+            ):
+                for arg in node.args:
+                    safe_iters.add(id(arg))
+                    if isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        for gen in arg.generators:
+                            safe_iters.add(id(gen.iter))
+
+        def flag(expr: ast.expr, what: str) -> Iterator[LintFinding]:
+            if id(expr) in safe_iters:
+                return
+            if (
+                isinstance(expr, ast.Name)
+                and _WORKLIST_NAME.search(expr.id)
+                and expr.id not in index.ordered
+            ):
+                yield self.finding(
+                    mod,
+                    expr.lineno,
+                    expr.col_offset,
+                    f"{what} iterates worklist {expr.id!r} whose order "
+                    f"is not provably deterministic",
+                )
+
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.For):
+                yield from flag(node.iter, "for loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield from flag(gen.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id in {
+                    "list",
+                    "tuple",
+                    "enumerate",
+                }:
+                    for arg in node.args:
+                        yield from flag(arg, f"{node.func.id}()")

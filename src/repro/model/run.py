@@ -83,14 +83,17 @@ class Run:
                 self._duration,
             )
         )
+        # R4 at construction time (History.append would also raise, but
+        # the prefix index is built lazily now): crash ends the timeline.
+        for p, timeline in self._timelines.items():
+            for _, event in timeline[:-1]:
+                if isinstance(event, CrashEvent):
+                    raise ValueError(f"{p} has events after its crash (R4)")
         # Per-process incremental prefix histories: _prefixes[p] is a list
         # where entry i is the history after the first i timeline events.
+        # Built lazily per process: the explorer constructs (and dedups)
+        # far more runs than the knowledge kernel ever queries.
         self._prefixes: dict[ProcessId, list[History]] = {}
-        for p in self._processes:
-            prefixes = [EMPTY_HISTORY]
-            for _, event in self._timelines[p]:
-                prefixes.append(prefixes[-1].append(event))
-            self._prefixes[p] = prefixes
         self._crash_masks: tuple[int, ...] | None = None
 
     # -- identity ----------------------------------------------------------
@@ -168,11 +171,20 @@ class Run:
         if time < 0:
             raise ValueError("time must be non-negative")
         count = self._event_count_at(process, min(time, self._duration))
-        return self._prefixes[process][count]
+        return self._prefix_list(process)[count]
 
     def final_history(self, process: ProcessId) -> History:
         """The process's complete history at the run's duration."""
-        return self._prefixes[process][-1]
+        return self._prefix_list(process)[-1]
+
+    def _prefix_list(self, process: ProcessId) -> list[History]:
+        prefixes = self._prefixes.get(process)
+        if prefixes is None:
+            prefixes = [EMPTY_HISTORY]
+            for _, event in self._timelines[process]:
+                prefixes.append(prefixes[-1].append(event))
+            self._prefixes[process] = prefixes
+        return prefixes
 
     def cut(self, time: int) -> Cut:
         """The cut r(time)."""
@@ -339,6 +351,15 @@ def validate_run(
     # R3: receives matched by sends.  A receive of msg from p at time t
     # requires that the number of sends of msg by p to q at times <= t is
     # at least the number of receives so far (counting multiplicity).
+    # One pass over every timeline collects the sorted send times per
+    # channel key; each receive then costs one bisect, not a rescan.
+    send_times: dict[tuple[ProcessId, ProcessId, Message], list[int]] = {}
+    for p in run.processes:
+        for t, event in run.timeline(p):
+            if isinstance(event, SendEvent):
+                send_times.setdefault(
+                    (p, event.receiver, event.message), []
+                ).append(t)
     for q in run.processes:
         recv_counts: dict[tuple[ProcessId, ProcessId, Message], int] = {}
         for t, event in run.timeline(q):
@@ -349,16 +370,11 @@ def validate_run(
                     f"receive from unknown process {event.sender!r}"
                 )
             key = (event.sender, q, event.message)
-            recv_counts[key] = recv_counts.get(key, 0) + 1
-            sends = sum(
-                1
-                for ts, se in run.timeline(event.sender)
-                if ts <= t
-                and isinstance(se, SendEvent)
-                and se.receiver == q
-                and se.message == event.message
-            )
-            if sends < recv_counts[key]:
+            count = recv_counts.get(key, 0) + 1
+            recv_counts[key] = count
+            # timelines are time-ordered, so the send list is sorted
+            sends = bisect_right(send_times.get(key, ()), t)
+            if sends < count:
                 raise RunValidationError(
                     f"{q} received {event.message!r} from {event.sender} at "
                     f"time {t} without a matching send (R3)"

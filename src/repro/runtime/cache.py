@@ -46,14 +46,35 @@ from repro.runtime.spec import RunSpec, spec_digest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.explore.reduction import ExploreStats
+    from repro.sim.failures import CrashPlan
 
 _RUN_FORMAT = "repro-run-entry-v2"
+_EXPLORE_FORMAT_V3 = "repro-exploration-v3"
 _EXPLORE_FORMAT = "repro-exploration-v2"
 _EXPLORE_FORMAT_V1 = "repro-exploration-v1"
+
+#: One recorded search leaf: (crash plan, choice trace, is-fixpoint,
+#: index of its run in the entry's run list).  Leaves are what let the
+#: explorer seed a horizon-(T+1) frontier from a horizon-T entry.
+LeafRecord = tuple["CrashPlan", tuple[int, ...], bool, int]
 
 
 class CacheIntegrityError(ValueError):
     """A disk cache entry failed parsing or its checksum check."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ExplorationEntry:
+    """One cached exhaustive exploration.
+
+    ``leaves`` is the search's complete leaf coordinate set (present for
+    v3 entries; ``None`` for entries written before leaves were
+    recorded, which simply cannot seed incremental extension).
+    """
+
+    runs: tuple[Run, ...]
+    stats: "ExploreStats"
+    leaves: tuple[LeafRecord, ...] | None = None
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -119,7 +140,7 @@ class RunCache:
 
     def __init__(self, directory: str | Path | None = None) -> None:
         self._memory: dict[str, Run] = {}
-        self._explorations: dict[str, tuple[tuple[Run, ...], "ExploreStats"]] = {}
+        self._explorations: dict[str, ExplorationEntry] = {}
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -200,6 +221,13 @@ class RunCache:
         counters never leak into the cached baseline.  Corrupt entries
         quarantine and read as a miss, like :meth:`get`.
         """
+        entry = self.get_exploration_entry(digest)
+        if entry is None:
+            return None
+        return entry.runs, entry.stats
+
+    def get_exploration_entry(self, digest: str) -> ExplorationEntry | None:
+        """Like :meth:`get_exploration`, with the leaf coordinates too."""
         entry = self._explorations.get(digest)
         if entry is None and self.directory is not None:
             path = self._explore_path(digest)
@@ -217,14 +245,21 @@ class RunCache:
             self.misses += 1
             return None
         self.hits += 1
-        runs, stats = entry
-        return runs, dataclasses.replace(stats)
+        return dataclasses.replace(
+            entry, stats=dataclasses.replace(entry.stats)
+        )
 
     def put_exploration(
-        self, digest: str, runs: tuple[Run, ...], stats: "ExploreStats"
+        self,
+        digest: str,
+        runs: tuple[Run, ...],
+        stats: "ExploreStats",
+        leaves: tuple[LeafRecord, ...] | None = None,
     ) -> None:
         """Store one exhaustive exploration's complete run set."""
-        entry = (tuple(runs), dataclasses.replace(stats))
+        entry = ExplorationEntry(
+            tuple(runs), dataclasses.replace(stats), leaves
+        )
         self._explorations[digest] = entry
         if self.directory is not None:
             _save_exploration(entry, self._explore_path(digest))
@@ -237,27 +272,38 @@ class RunCache:
         self.quarantined.clear()
 
 
-def _save_exploration(
-    entry: tuple[tuple[Run, ...], "ExploreStats"], path: Path
-) -> None:
+def _save_exploration(entry: ExplorationEntry, path: Path) -> None:
     from repro.model.serialize import run_to_dict
 
-    runs, stats = entry
-    body = {
-        "stats": stats.as_dict(),
-        "runs": [run_to_dict(run) for run in runs],
+    body: dict[str, object] = {
+        "stats": entry.stats.as_dict(),
+        "runs": [run_to_dict(run) for run in entry.runs],
     }
+    if entry.leaves is None:
+        fmt = _EXPLORE_FORMAT
+    else:
+        fmt = _EXPLORE_FORMAT_V3
+        body["leaves"] = [
+            [
+                [[pid, tick] for pid, tick in plan.crashes],
+                list(trace),
+                fixpoint,
+                run_index,
+            ]
+            for plan, trace, fixpoint, run_index in entry.leaves
+        ]
     payload = {
-        "format": _EXPLORE_FORMAT,
+        "format": fmt,
         "sha256": _body_sha256(body),
         "body": body,
     }
     _atomic_write_text(path, json.dumps(payload))
 
 
-def _load_exploration(path: Path) -> tuple[tuple[Run, ...], "ExploreStats"]:
+def _load_exploration(path: Path) -> ExplorationEntry:
     from repro.explore.reduction import ExploreStats
     from repro.model.serialize import run_from_dict
+    from repro.sim.failures import CrashPlan
 
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
@@ -266,7 +312,7 @@ def _load_exploration(path: Path) -> tuple[tuple[Run, ...], "ExploreStats"]:
     if not isinstance(payload, dict):
         raise CacheIntegrityError("exploration entry is not a JSON object")
     fmt = payload.get("format")
-    if fmt == _EXPLORE_FORMAT:
+    if fmt in (_EXPLORE_FORMAT, _EXPLORE_FORMAT_V3):
         body = payload.get("body")
         if _body_sha256(body) != payload.get("sha256"):
             raise CacheIntegrityError(
@@ -283,7 +329,27 @@ def _load_exploration(path: Path) -> tuple[tuple[Run, ...], "ExploreStats"]:
         **{k: v for k, v in body.get("stats", {}).items() if k in known}
     )
     runs = tuple(run_from_dict(entry) for entry in body.get("runs", ()))
-    return runs, stats
+    leaves: tuple[LeafRecord, ...] | None = None
+    if fmt == _EXPLORE_FORMAT_V3:
+        raw_leaves = body.get("leaves")
+        if not isinstance(raw_leaves, list):
+            raise CacheIntegrityError("v3 exploration entry without leaves")
+        decoded: list[LeafRecord] = []
+        for crashes, trace, fixpoint, run_index in raw_leaves:
+            if not 0 <= int(run_index) < len(runs):
+                raise CacheIntegrityError(
+                    "exploration leaf points outside its run list"
+                )
+            decoded.append(
+                (
+                    CrashPlan.of({pid: int(tick) for pid, tick in crashes}),
+                    tuple(int(i) for i in trace),
+                    bool(fixpoint),
+                    int(run_index),
+                )
+            )
+        leaves = tuple(decoded)
+    return ExplorationEntry(runs, stats, leaves)
 
 
 _default_cache: RunCache | None = None

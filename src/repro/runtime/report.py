@@ -20,8 +20,9 @@ from repro.sim.failures import CrashPlan
 if TYPE_CHECKING:  # pragma: no cover
     from repro.explore.monitors import Violation
     from repro.explore.reduction import ExploreStats
+    from repro.explore.spec import ExploreSpec
     from repro.model.context import Context
-    from repro.runtime.spec import ExploreSpec, RunSpec
+    from repro.runtime.spec import RunSpec
 
 
 @dataclass(frozen=True)

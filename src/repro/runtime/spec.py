@@ -22,7 +22,6 @@ identical systems.
 from __future__ import annotations
 
 import hashlib
-import itertools
 import pickle
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, Sequence
@@ -182,107 +181,35 @@ class EnsembleSpec:
                 )
 
 
-@dataclass(frozen=True)
-class ExploreSpec:
-    """A bounded exhaustive exploration, declaratively.
+# -- moved: ExploreSpec ------------------------------------------------------
+# ExploreSpec now lives in repro.explore.spec (the exploration subsystem
+# owns its own spec, mirroring how PR 1 moved legacy kwargs behind
+# deprecation shims).  The old import path keeps working for one release
+# via the module-level __getattr__ below, warning once per process.
 
-    Where :class:`EnsembleSpec` *samples* adversary schedules through
-    seeds, an ``ExploreSpec`` names the whole nondeterminism space and
-    asks :func:`repro.explore.explore` to enumerate it: every crash
-    pattern with at most ``max_failures`` crashes at ticks drawn from
-    ``crash_ticks``, and -- per reachable configuration -- every
-    delivery/defer choice (message reordering/delay) plus, when ``lossy``
-    is set, every drop/accept choice the R5 fairness budget permits.
-    The result is the *complete* set of horizon-``T`` runs of the
-    context, which is what makes the epistemic kernel's answers sound.
+_explore_spec_warned = False
 
-    ``por`` enables the sleep-set/commutativity reduction and
-    ``fingerprints`` enables converged-state pruning; both are
-    run-set-preserving (see ``tests/test_explore_scheduler.py`` for the
-    bit-identical-knowledge check) and on by default.  ``max_executions``
-    is a safety valve: when hit, exploration stops early and the
-    resulting system is marked *incomplete* (``ExploreStats.truncated``).
-    """
 
-    processes: tuple[ProcessId, ...]
-    protocol: ProtocolFactory
-    horizon: int = 4
-    max_failures: int = 0
-    crash_ticks: tuple[int, ...] = (1,)
-    workload: tuple[tuple[int, ProcessId, ActionId], ...] = ()
-    detector: DetectorOracle | None = None
-    lossy: bool = False
-    max_consecutive_drops: int = 2
-    por: bool = True
-    fingerprints: bool = True
-    strategy: str = "dfs"
-    max_executions: int | None = None
-    context: Context | None = None
+def _reset_explore_spec_warning() -> None:
+    """Test hook: allow the warn-once latch to fire again."""
+    global _explore_spec_warned  # repro: lint-ok[POOL002]
+    _explore_spec_warned = False
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "processes", tuple(self.processes))
-        object.__setattr__(self, "crash_ticks", tuple(self.crash_ticks))
-        object.__setattr__(self, "workload", tuple(sorted(self.workload)))
-        if not self.processes:
-            raise ValueError("an ExploreSpec needs at least one process")
-        if self.horizon < 1:
-            raise ValueError("horizon must be >= 1")
-        if not 0 <= self.max_failures <= len(self.processes):
-            raise ValueError("max_failures must be in [0, n]")
-        if any(t < 1 for t in self.crash_ticks):
-            raise ValueError("crash ticks must be >= 1")
-        if self.max_consecutive_drops < 1:
-            raise ValueError("max_consecutive_drops must be >= 1 (R5)")
-        if self.strategy not in ("dfs", "bfs"):
-            raise ValueError("strategy must be 'dfs' or 'bfs'")
 
-    def with_(self, **changes: object) -> "ExploreSpec":
-        """A copy with the given fields replaced (sweep helper)."""
-        return replace(self, **changes)  # type: ignore[arg-type]
+def __getattr__(name: str) -> object:
+    if name == "ExploreSpec":
+        global _explore_spec_warned  # repro: lint-ok[POOL002]
+        if not _explore_spec_warned:
+            _explore_spec_warned = True
+            import warnings
 
-    def crash_plans(self) -> tuple[CrashPlan, ...]:
-        """Every crash pattern of the bounded adversary, in a fixed order.
-
-        One plan per (subset S with \\|S\\| <= max_failures, assignment of a
-        crash tick from ``crash_ticks`` to each member of S); plans whose
-        every crash lands past the horizon collapse onto already-listed
-        plans at exploration time (runs are deduplicated by value).
-        """
-        plans: list[CrashPlan] = [CrashPlan.none()]
-        seen = {plans[0]}
-        ticks = tuple(dict.fromkeys(self.crash_ticks))
-        for size in range(1, self.max_failures + 1):
-            for subset in itertools.combinations(self.processes, size):
-                for assignment in itertools.product(ticks, repeat=size):
-                    plan = CrashPlan.of(dict(zip(subset, assignment)))
-                    if plan not in seen:
-                        seen.add(plan)
-                        plans.append(plan)
-        return tuple(plans)
-
-    def digest(self) -> str | None:
-        """Stable content hash, or None when the spec is not picklable."""
-        try:
-            payload = pickle.dumps(
-                (
-                    "explore-v1",
-                    self.processes,
-                    self.protocol,
-                    self.horizon,
-                    self.max_failures,
-                    self.crash_ticks,
-                    self.workload,
-                    self.detector,
-                    self.lossy,
-                    self.max_consecutive_drops,
-                    self.por,
-                    self.fingerprints,
-                    self.strategy,
-                    self.max_executions,
-                    self.context,
-                ),
-                protocol=4,
+            warnings.warn(
+                "importing ExploreSpec from repro.runtime.spec is "
+                "deprecated; use repro.explore (or repro.explore.spec)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        except Exception:
-            return None
-        return hashlib.sha256(payload).hexdigest()
+        from repro.explore.spec import ExploreSpec
+
+        return ExploreSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

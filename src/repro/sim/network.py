@@ -37,7 +37,7 @@ from repro.model.events import Message, ProcessId
 ChannelKey = tuple[ProcessId, ProcessId, Message]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A message copy in flight."""
 

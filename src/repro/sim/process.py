@@ -44,10 +44,11 @@ class ProcessEnv:
         self.outbox: deque[Event] = deque()
         self.now: int = 0
         self._performed: set[ActionId] = set()
+        self._others = tuple(p for p in processes if p != pid)
 
     @property
     def others(self) -> tuple[ProcessId, ...]:
-        return tuple(p for p in self.processes if p != self.pid)
+        return self._others
 
     def send(self, receiver: ProcessId, message: Message) -> None:
         """Enqueue ``send_p(receiver, message)``."""

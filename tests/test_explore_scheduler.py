@@ -86,7 +86,7 @@ class TestExploreSpec:
         a, b = nudc_spec(), nudc_spec()
         assert a.digest() == b.digest()
         assert a.digest() != a.with_(horizon=5).digest()
-        assert a.digest() != a.with_(por=False).digest()
+        assert a.digest() != a.with_(reduction="none").digest()
 
 
 class TestExploration:
@@ -135,15 +135,13 @@ class TestExploration:
 
 
 class TestReductionSoundness:
-    """POR + fingerprints must not change the run set or the knowledge."""
+    """DPOR must not change the run set or the knowledge."""
 
     @pytest.fixture(scope="class")
     def reports(self):
         spec = nudc_spec(**LOSSY)
         reduced = explore(spec, cache=None)
-        baseline = explore(
-            spec.with_(por=False, fingerprints=False), cache=None
-        )
+        baseline = explore(spec.with_(reduction="none"), cache=None)
         return reduced, baseline
 
     def test_run_sets_identical(self, reports):
@@ -338,4 +336,4 @@ class TestReportSurface:
         assert "explored n=3 t=1 T=6" in text
         assert "[complete]" in text
         assert "violations" in text
-        assert "por+fingerprints" in text
+        assert "[reduction: dpor]" in text

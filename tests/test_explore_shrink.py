@@ -43,8 +43,9 @@ def lossy_spec(**overrides):
 @pytest.fixture(scope="module")
 def seeded_violation():
     """The drop-based UDC violation: p1 crashes at 5 after both of its
-    alpha-copies were dropped (trace (1, 1)), so no correct process ever
-    hears of the action it performed."""
+    alpha-copies were deferred at every delivery choice point (under
+    drop elision an undelivered copy IS a drop), so no correct process
+    ever hears of the action it performed."""
     spec = lossy_spec()
     report = explore(spec, monitors=[MONITOR], cache=None)
     violation = next(v for v in report.violations if v.trace)
@@ -94,7 +95,7 @@ class TestShrink:
         spec, violation = seeded_violation
         result = shrink_violation(spec, violation, monitor=MONITOR)
         assert result.crashes == {"p1": 5}
-        assert result.trace == (1, 1)
+        assert result.trace == (1, 1, 1, 1, 1)
 
     def test_sloppy_trace_shrinks_to_the_same_witness(self, seeded_violation):
         """A witness padded with redundant adversarial junk (unconsumed
@@ -110,14 +111,17 @@ class TestShrink:
             trace=violation.trace + (7, 0, 3),
         )
         result = shrink_violation(spec, padded, monitor=MONITOR)
-        assert result.trace == (1, 1)
+        assert result.trace == (1, 1, 1, 1, 1)
         assert result.reductions > 0
 
     def test_redundant_crash_is_dropped(self):
         """Pass 1: a bystander crash the violation does not need goes."""
         spec = lossy_spec(max_failures=2)
         plan = CrashPlan.of({"p1": 5, "p3": 1})
-        trace = (1, 1)  # both alpha-copies dropped, as in the seeded case
+        # Defer at every delivery choice point; the trace is long enough
+        # to keep both alpha-copies undelivered whether or not p3's
+        # crash (which removes p3's copy's choice points) is kept.
+        trace = (1, 1, 1, 1, 1)
         run = replay_exploration(spec, plan, trace)
         verdict = MONITOR.check(run)
         assert not verdict

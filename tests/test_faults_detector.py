@@ -16,7 +16,8 @@ from repro.explore.monitors import detector_monitor_suite
 from repro.faults import DetectorFaults, FaultPlan, FaultyDetectorOracle
 from repro.model.context import make_process_ids
 from repro.model.events import SuspectEvent
-from repro.runtime import ExploreSpec, RunSpec
+from repro.explore import ExploreSpec
+from repro.runtime import RunSpec
 from repro.sim.executor import ExecutionConfig, Executor
 from repro.sim.failures import CrashPlan
 from repro.sim.process import uniform_protocol

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fail if explorer throughput regressed against the committed baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py COMMITTED.json FRESH.json
+
+Compares ``states_per_s`` at n=4 (effective coverage rate: unreduced
+space states / DPOR wall time) in FRESH against COMMITTED and exits 1
+if it dropped by more than the tolerance (default 15%, override with
+``--tolerance 0.15``).
+
+Raw wall-clock numbers are machine-bound, so the comparison is
+*machine-normalized*: both files also record the reduction-free
+baseline walk's throughput at n=4 (``baseline_states_per_s``), which
+measures pure executor speed on the recording machine.  The fresh
+machine's speed ratio rescales the committed figure before the 15%
+rule is applied -- a slower CI runner does not trip the gate, but a
+reduction regression (DPOR doing more work per covered state) does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+KEY = "n=4"
+
+
+def entry(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    try:
+        return payload["results"][KEY]
+    except KeyError:
+        sys.exit(f"{path}: no results[{KEY!r}] entry")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    args = parser.parse_args(argv)
+
+    committed = entry(args.committed)
+    fresh = entry(args.fresh)
+
+    for name, e in (("committed", committed), ("fresh", fresh)):
+        for field in ("states_per_s", "baseline_states_per_s"):
+            if not e.get(field):
+                sys.exit(f"{name} entry lacks a nonzero {field!r}")
+
+    # How fast is this machine relative to the one that recorded the
+    # committed baseline?  The reduction-free walk measures that.
+    machine_scale = fresh["baseline_states_per_s"] / committed["baseline_states_per_s"]
+    expected = committed["states_per_s"] * machine_scale
+    floor = expected * (1.0 - args.tolerance)
+    actual = fresh["states_per_s"]
+
+    print(
+        f"explorer throughput at {KEY}: fresh {actual:,.0f} states/s, "
+        f"committed {committed['states_per_s']:,.0f} "
+        f"(machine scale {machine_scale:.2f}x -> floor {floor:,.0f})"
+    )
+    if actual < floor:
+        print(
+            f"REGRESSION: {actual:,.0f} < {floor:,.0f} "
+            f"(committed minus {args.tolerance:.0%}, machine-normalized)",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
