@@ -1,0 +1,87 @@
+"""Array backend: numpy when importable, ``array('q')`` otherwise.
+
+Everything columnar is expressed over flat signed-64-bit integer
+buffers.  With numpy present the kernel sweeps become ufunc calls
+(``np.repeat``, ``np.unique``, ``np.add.reduceat`` ...); without it the
+same algorithms run as Python loops over ``array('q')`` -- bit-identical
+results, just slower.  The serialized byte form is always little-endian
+int64 so arenas written on one machine load on any other.
+
+Set ``REPRO_COLUMNAR_NUMPY=0`` to force the stdlib fallback even when
+numpy is importable (this is how the no-numpy differential tests run on
+machines that do have numpy).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from array import array
+from typing import Any, Sequence
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _np
+except Exception:  # pragma: no cover - the no-numpy leg
+    _np = None  # type: ignore[assignment]
+
+#: Either a ``numpy.ndarray[int64]`` or an ``array('q')``.
+IntBuffer = Any
+
+
+def numpy_or_none() -> Any:
+    """The numpy module, or None when absent or disabled via env."""
+    if _np is None:
+        return None
+    if os.environ.get("REPRO_COLUMNAR_NUMPY", "").strip() == "0":
+        return None
+    return _np
+
+
+def make_buffer(values: Sequence[int], np: Any) -> IntBuffer:
+    """A fresh int64 buffer holding ``values`` (backend chosen by ``np``)."""
+    if np is not None:
+        return np.asarray(values, dtype=np.int64)
+    return array("q", values)
+
+
+def freeze_buffer(buf: IntBuffer) -> IntBuffer:
+    """Mark a numpy buffer read-only (no-op for the stdlib fallback)."""
+    if _np is not None and isinstance(buf, _np.ndarray):
+        buf.flags.writeable = False
+    return buf
+
+
+def buffer_to_bytes(buf: IntBuffer) -> bytes:
+    """Serialize a buffer as little-endian int64 bytes."""
+    if _np is not None and isinstance(buf, _np.ndarray):
+        out: bytes = buf.astype("<i8", copy=False).tobytes()
+        return out
+    if sys.byteorder == "little":
+        return buf.tobytes()
+    swapped = array("q", buf)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def buffer_from_bytes(data: bytes, np: Any) -> IntBuffer:
+    """Deserialize little-endian int64 bytes into a backend buffer."""
+    if np is not None:
+        return np.frombuffer(data, dtype="<i8").astype(np.int64, copy=False)
+    buf = array("q")
+    buf.frombytes(data)
+    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+        buf.byteswap()
+    return buf
+
+
+def buffer_nbytes(buf: IntBuffer) -> int:
+    """Byte size of a buffer's payload."""
+    if _np is not None and isinstance(buf, _np.ndarray):
+        return int(buf.nbytes)
+    return len(buf) * buf.itemsize
+
+
+def buffer_tolist(buf: IntBuffer) -> list[int]:
+    """The buffer as a list of Python ints."""
+    out: list[int] = buf.tolist()
+    return out

@@ -1,0 +1,594 @@
+"""The columnar epistemic kernel: bulk-array Knows / E^k / C_G.
+
+Where the class kernel (:mod:`repro.model.system`) buckets points into
+:class:`~repro.model.system.EquivClass` objects one dict probe at a
+time, this kernel derives the same structure as flat arrays over the
+global point numbering (point ``(runs[i], m)`` has id ``base[i] + m``):
+
+* ``crash rows``  -- one int crash bitmask per point (bit j = process j
+  crashed), taken verbatim from ``Run.crash_masks``;
+* ``history ids`` -- each point's local history hash-consed to a trie
+  node id; structural History equality == node id equality, so the
+  per-process ~_p classes are exactly the distinct node ids;
+* ``class tables`` -- per process: a dense ``point -> class`` row
+  (classes numbered globally across processes, first-occurrence order
+  within each process, matching ``System.classes``) and a CSR layout
+  (``class_points_csr`` / ``class_offsets_csr`` / ``class_sizes``) of
+  the members of every class, in ascending point-id order;
+* ``known masks`` -- per class, the AND of its members' crash rows
+  (= {q : K_p crash(q)}), computed in one ``bitwise_and.reduceat``.
+
+One E_G step is then five array operations *total* (gather members,
+segment-sum, compare to sizes, gather per point, AND across the group)
+instead of a Python loop over classes, and the C_G greatest fixpoint
+iterates that step on a boolean point vector.  Without numpy the same
+sweeps run over Python-int bitsets (the class kernel's representation)
+-- identical results.
+
+Point sets cross the kernel boundary as an opaque ``PointSet`` (numpy
+bool vector or int bitset); callers use :meth:`ColumnarKernel.full_set`,
+``intersect``, ``sets_equal`` and ``iter_point_ids`` rather than
+touching the representation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.columnar.arena import RunArena, encode_runs
+from repro.columnar.backend import numpy_or_none
+from repro.knowledge.formulas import (
+    And,
+    Crashed,
+    Formula,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    _Const,
+)
+from repro.model.events import ProcessId
+from repro.model.history import History
+from repro.model.run import Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.knowledge.semantics import ModelChecker
+    from repro.model.system import System
+
+#: Opaque point-set representation: numpy bool[P] or a Python int bitset.
+PointSet = Any
+
+#: Crash-mask rows use one int64 lane per point, so vectorized mask work
+#: needs the process count to fit in the non-sign bits.
+_MASK_LANE_BITS = 62
+
+
+def build_kernel(system: "System") -> "ColumnarKernel":
+    """Encode ``system.runs`` and derive the columnar index."""
+    return ColumnarKernel(system)
+
+
+class ColumnarKernel:
+    """Flat-array ~_p index over one :class:`~repro.model.system.System`."""
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        self.np = numpy_or_none()
+        self.arena: RunArena = encode_runs(system.runs, processes=system.processes)
+        self.n = len(system.processes)
+        self.point_total = system.point_count
+        # Per-point crash bitmask rows (Python ints; mirrored into an
+        # int64 vector when numpy is active and the masks fit a lane).
+        crash_rows: list[int] = []
+        for run in system.runs:
+            crash_rows.extend(run.crash_masks())
+        self.crash_rows: list[int] = crash_rows
+        np = self.np
+        self.crash_mask_rows = (
+            np.asarray(crash_rows, dtype=np.int64)
+            if np is not None and self.n <= _MASK_LANE_BITS
+            else None
+        )
+        self._build_class_tables()
+        # Lazy per-class caches serving the System-level API.
+        self._known_masks_cache: list[int] | None = None
+        self._points_cache: dict[int, list[Point]] = {}
+        self._known_set_cache: dict[int, frozenset[ProcessId]] = {}
+        self._count_cache: dict[tuple[int, int], int] = {}
+        self._class_bits_int: list[int] | None = None
+        st = system.stats
+        st.arena_builds += 1
+        st.arena_classes += self.total_classes
+        st.arena_bytes += self.arena.nbytes
+
+    # -- index construction --------------------------------------------------
+
+    def _history_rows(self) -> tuple[list[list[int]], list[list[int]]]:
+        """Hash-cons every point's local history into trie node ids.
+
+        Returns per-process ``(nodes, counts)`` run-length segments: for
+        process ``j``, repeating ``nodes[j][k]`` ``counts[j][k]`` times
+        yields the node id of each point in point-id order.  Events past
+        a run's duration never enter any cut, so the walk clamps there.
+
+        The walk runs entirely over the arena's int columns -- event
+        identity was already resolved to alphabet ids by ``encode_runs``,
+        so no event object is hashed again here.
+        """
+        arena = self.arena
+        n = self.n
+        durs, offs, times, eids = arena.columns_as_lists()
+        # The trie is one flat int-keyed dict (node * stride + event id
+        # -> child node): int keys hash trivially and no per-node child
+        # dict is ever allocated.
+        stride = self._trie_stride
+        trie = self._trie
+        trie_get = trie.get
+        next_node = 1
+        hits = misses = 0
+        seg_nodes: list[list[int]] = []
+        seg_counts: list[list[int]] = []
+        n_runs = arena.n_runs
+        for j in range(n):
+            nodes: list[int] = []
+            counts: list[int] = []
+            nodes_append = nodes.append
+            counts_append = counts.append
+            for i in range(n_runs):
+                dur = durs[i]
+                node = 0
+                prev = 0
+                row = i * n + j
+                start, stop = offs[row], offs[row + 1]
+                # Clamp to the duration up front (strictly increasing
+                # times): the walk below then needs no per-event check.
+                cut = bisect_right(times, dur, start, stop)
+                for t, eid in zip(times[start:cut], eids[start:cut]):
+                    if t > prev:
+                        nodes_append(node)
+                        counts_append(t - prev)
+                        prev = t
+                    key = node * stride + eid
+                    nxt = trie_get(key)
+                    if nxt is None:
+                        nxt = trie[key] = next_node
+                        next_node += 1
+                        misses += 1
+                    else:
+                        hits += 1
+                    node = nxt
+                nodes_append(node)
+                counts_append(dur + 1 - prev)
+            seg_nodes.append(nodes)
+            seg_counts.append(counts)
+        # Hash-cons traffic is canonicalization traffic: surface it on
+        # the same counters the HistoryInterner feeds.
+        interner = self.system.interner
+        interner.hits += hits
+        interner.misses += misses
+        return seg_nodes, seg_counts
+
+    def _build_class_tables(self) -> None:
+        np = self.np
+        P = self.point_total
+        self._trie: dict[int, int] = {}
+        self._trie_stride = len(self.arena.events) + 1
+        # event object -> alphabet id, built lazily: only foreign-history
+        # walks need it, and hashing the alphabet is not free.
+        self._event_id_table: dict[Any, int] | None = None
+        seg_nodes, seg_counts = self._history_rows()
+        self._seg_nodes = seg_nodes
+        self._seg_counts = seg_counts
+        self.class_base: list[int] = []
+        #: per process: trie node id -> global class id (built on demand:
+        #: only foreign-history walks consult it)
+        self._node_class: list[dict[int, int] | None] = [None] * self.n
+        total = 0
+        if np is not None:
+            pc_rows = np.empty((self.n, P), dtype=np.int64)
+            member_parts = []
+            size_parts = []
+            for j in range(self.n):
+                # Classes are numbered in first-occurrence order (the
+                # order System.classes uses).  Segments are few, so the
+                # numbering runs over segments in Python and only the
+                # per-point expansion is vectorized.
+                node_to_cid: dict[int, int] = {}
+                setdefault = node_to_cid.setdefault
+                seg_cids = [
+                    setdefault(nd, len(node_to_cid)) for nd in seg_nodes[j]
+                ]
+                cids = np.asarray(seg_cids, dtype=np.int64)
+                counts = np.asarray(seg_counts[j], dtype=np.int64)
+                n_cls = len(node_to_cid)
+                local = np.repeat(cids, counts)
+                pc_rows[j] = local + total
+                sizes_j = np.zeros(n_cls, dtype=np.int64)
+                np.add.at(sizes_j, cids, counts)
+                size_parts.append(sizes_j)
+                member_parts.append(np.argsort(local, kind="stable"))
+                self.class_base.append(total)
+                total += n_cls
+            self.point_class_rows = pc_rows
+            self.class_points_csr = np.concatenate(member_parts)
+            sizes = np.concatenate(size_parts).astype(np.int64, copy=False)
+            self.class_sizes = sizes
+            offsets = np.empty(total + 1, dtype=np.int64)
+            offsets[0] = 0
+            np.cumsum(sizes, out=offsets[1:])
+            self.class_offsets_csr = offsets
+            self.total_classes = total
+        else:
+            pc_rows_l: list[list[int]] = []
+            members_flat: list[int] = []
+            sizes_l: list[int] = []
+            offsets_l: list[int] = [0]
+            for j in range(self.n):
+                node_to_cid: dict[int, int] = {}
+                members: list[list[int]] = []
+                local_row: list[int] = []
+                pid = 0
+                for nd, cnt in zip(seg_nodes[j], seg_counts[j]):
+                    cid = node_to_cid.get(nd)
+                    if cid is None:
+                        cid = node_to_cid[nd] = len(members)
+                        members.append([])
+                    bucket = members[cid]
+                    gcid = cid + total
+                    for _ in range(cnt):
+                        bucket.append(pid)
+                        local_row.append(gcid)
+                        pid += 1
+                pc_rows_l.append(local_row)
+                for bucket in members:
+                    members_flat.extend(bucket)
+                    sizes_l.append(len(bucket))
+                    offsets_l.append(len(members_flat))
+                self.class_base.append(total)
+                total += len(members)
+            self.point_class_rows = pc_rows_l
+            self.class_points_csr = members_flat
+            self.class_sizes = sizes_l
+            self.class_offsets_csr = offsets_l
+            self.total_classes = total
+
+    @property
+    def known_masks(self) -> list[int]:
+        """Per-class crash-knowledge masks, built on first query.
+
+        The class kernel computes known sets per query, not at build;
+        the columnar build matches that laziness so the index-build
+        benchmark compares grouping work against grouping work.
+        """
+        masks = self._known_masks_cache
+        if masks is None:
+            np = self.np
+            if (
+                np is not None
+                and self.crash_mask_rows is not None
+                and self.total_classes
+            ):
+                known = np.bitwise_and.reduceat(
+                    self.crash_mask_rows[self.class_points_csr],
+                    self.class_offsets_csr[:-1],
+                )
+                masks = known.tolist()
+            else:
+                masks = self._known_masks_fallback(self._csr_slices_list())
+            self._known_masks_cache = masks
+        return masks
+
+    def _csr_slices_list(self) -> list[tuple[int, int]]:
+        offsets = self.class_offsets_csr
+        if self.np is not None and not isinstance(offsets, list):
+            offsets = offsets.tolist()
+        return [
+            (offsets[c], offsets[c + 1]) for c in range(self.total_classes)
+        ]
+
+    def _known_masks_fallback(
+        self, slices: list[tuple[int, int]]
+    ) -> list[int]:
+        members = self.class_points_csr
+        if self.np is not None and not isinstance(members, list):
+            members = members.tolist()
+        crash = self.crash_rows
+        out: list[int] = []
+        for start, stop in slices:
+            acc = -1
+            for k in range(start, stop):
+                acc &= crash[members[k]]
+            out.append(acc)
+        return out
+
+    # -- class lookup --------------------------------------------------------
+
+    def class_of_point(self, j: int, point_id: int) -> int:
+        """Global class id of an in-system point for process index ``j``."""
+        row = self.point_class_rows[j]
+        return int(row[point_id])
+
+    def _node_class_for(self, j: int) -> dict[int, int]:
+        """Trie node id -> global class id for process index ``j``."""
+        table = self._node_class[j]
+        if table is None:
+            row = self.point_class_rows[j]
+            table = {}
+            pid = 0
+            for nd, cnt in zip(self._seg_nodes[j], self._seg_counts[j]):
+                if nd not in table:
+                    table[nd] = int(row[pid])
+                pid += cnt
+            self._node_class[j] = table
+        return table
+
+    def class_of_history(self, j: int, history: History) -> int | None:
+        """Global class id of an arbitrary local history (None if foreign)."""
+        node = 0
+        trie = self._trie
+        stride = self._trie_stride
+        event_ids = self._event_id_table
+        if event_ids is None:
+            event_ids = {e: i for i, e in enumerate(self.arena.events)}
+            self._event_id_table = event_ids
+        for event in history.events:
+            eid = event_ids.get(event)
+            if eid is None:
+                return None
+            nxt = trie.get(node * stride + eid)
+            if nxt is None:
+                return None
+            node = nxt
+        return self._node_class_for(j).get(node)
+
+    def class_id_at(self, process: ProcessId, point: Point) -> int | None:
+        """The ~_process class of ``point``; foreign histories give None.
+
+        In-system points resolve through the dense point->class row (no
+        history materialization); foreign points fall back to walking
+        their local history through the hash-cons trie, so a foreign
+        point whose history *does* occur in the system still lands in
+        the right class -- matching ``System.class_of``.
+        """
+        system = self.system
+        j = system.process_bit(process)
+        pid = system.point_id(point)
+        if pid is not None:
+            return self.class_of_point(j, pid)
+        return self.class_of_history(j, point.history(process))
+
+    def member_point_ids(self, cid: int) -> list[int]:
+        """The point ids of class ``cid``, ascending."""
+        start = self.class_offsets_csr[cid]
+        stop = self.class_offsets_csr[cid + 1]
+        members = self.class_points_csr[start:stop]
+        if isinstance(members, list):
+            return members
+        return [int(x) for x in members.tolist()]
+
+    def points_of_class(self, cid: int) -> list[Point]:
+        """The member Points of class ``cid`` (cached per class)."""
+        pts = self._points_cache.get(cid)
+        if pts is None:
+            point_at = self.system.point_at
+            pts = [point_at(pid) for pid in self.member_point_ids(cid)]
+            self._points_cache[cid] = pts
+        return pts
+
+    # -- per-class knowledge -------------------------------------------------
+
+    def known_mask(self, cid: int) -> int:
+        """AND of the class's crash rows: {q : K_p crash(q)} as a bitmask."""
+        return self.known_masks[cid]
+
+    def known_set(self, cid: int) -> frozenset[ProcessId]:
+        known = self._known_set_cache.get(cid)
+        if known is None:
+            mask = self.known_masks[cid]
+            procs = self.system.processes
+            known = frozenset(
+                p for b, p in enumerate(procs) if (mask >> b) & 1
+            )
+            self._known_set_cache[cid] = known
+        return known
+
+    def count_min(self, cid: int, subset_mask: int) -> int:
+        """min over the class's points of popcount(crash_row & subset)."""
+        key = (cid, subset_mask)
+        cached = self._count_cache.get(key)
+        if cached is None:
+            crash = self.crash_rows
+            cached = min(
+                (crash[pid] & subset_mask).bit_count()
+                for pid in self.member_point_ids(cid)
+            )
+            self._count_cache[key] = cached
+        return cached
+
+    # -- point sets ----------------------------------------------------------
+
+    def full_set(self) -> PointSet:
+        np = self.np
+        if np is not None:
+            return np.ones(self.point_total, dtype=bool)
+        return (1 << self.point_total) - 1
+
+    def empty_set(self) -> PointSet:
+        np = self.np
+        if np is not None:
+            return np.zeros(self.point_total, dtype=bool)
+        return 0
+
+    def intersect(self, a: PointSet, b: PointSet) -> PointSet:
+        return a & b
+
+    def sets_equal(self, a: PointSet, b: PointSet) -> bool:
+        np = self.np
+        if np is not None:
+            return bool(np.array_equal(a, b))
+        return bool(a == b)
+
+    def iter_point_ids(self, s: PointSet) -> list[int]:
+        """The point ids of a set, ascending."""
+        np = self.np
+        if np is not None:
+            return [int(x) for x in np.nonzero(s)[0].tolist()]
+        out: list[int] = []
+        bits = s
+        while bits:
+            low = bits & -bits
+            out.append(low.bit_length() - 1)
+            bits ^= low
+        return out
+
+    def _class_bits_list(self) -> list[int]:
+        """Fallback representation: each class's member set as an int bitset."""
+        bits = self._class_bits_int
+        if bits is None:
+            bits = []
+            for start, stop in self._csr_slices_list():
+                acc = 0
+                members = self.class_points_csr
+                for k in range(start, stop):
+                    acc |= 1 << members[k]
+                bits.append(acc)
+            self._class_bits_int = bits
+        return bits
+
+    def class_in_set(self, cid: int | None, s: PointSet) -> bool:
+        """Is the class wholly inside the point set?  None = vacuous True."""
+        if cid is None:
+            return True
+        np = self.np
+        if np is not None:
+            start = int(self.class_offsets_csr[cid])
+            stop = int(self.class_offsets_csr[cid + 1])
+            return bool(s[self.class_points_csr[start:stop]].all())
+        bits = self._class_bits_list()[cid]
+        return bits & s == bits
+
+    # -- the E_G step and fixpoints -------------------------------------------
+
+    def e_step(self, members_j: Sequence[int], current: PointSet) -> PointSet:
+        """One E_G application over process indexes ``members_j``.
+
+        Keeps exactly the points whose ~_p class is wholly inside
+        ``current`` for every p in the group (empty group: all points).
+        """
+        self.system.stats.ck_fixpoint_iterations += 1
+        if not members_j:
+            return self.full_set()
+        np = self.np
+        if np is not None:
+            sel = current[self.class_points_csr]
+            hits = np.add.reduceat(sel, self.class_offsets_csr[:-1])
+            ok = hits == self.class_sizes
+            keep = ok[self.point_class_rows[list(members_j)]]
+            result: PointSet = keep.all(axis=0)
+            return result
+        bits_l = self._class_bits_list()
+        base = self.class_base
+        total = self.total_classes
+        acc: int | None = None
+        for j in members_j:
+            start = base[j]
+            stop = base[j + 1] if j + 1 < self.n else total
+            keep_bits = 0
+            for cid in range(start, stop):
+                b = bits_l[cid]
+                if b & current == b:
+                    keep_bits |= b
+            acc = keep_bits if acc is None else acc & keep_bits
+        assert acc is not None
+        return acc
+
+    def ck_fixpoint(
+        self, members_j: Sequence[int], base: PointSet
+    ) -> PointSet:
+        """Greatest fixpoint of X = E_G(phi and X), starting at [[phi]]."""
+        current = base
+        while True:
+            refined = self.intersect(self.e_step(members_j, current), current)
+            if self.sets_equal(refined, current):
+                break
+            current = refined
+        return current
+
+    # -- formula vectorization -----------------------------------------------
+
+    def formula_set(self, checker: "ModelChecker", formula: Formula) -> PointSet:
+        """The point set satisfying ``formula``.
+
+        Crash / boolean / Knows nodes evaluate as whole-vector array
+        operations; anything else falls back to the model checker's
+        ``holds`` per point (memoized there), filling the set directly.
+        """
+        vec = self._vector_formula(formula)
+        if vec is not None:
+            return vec
+        np = self.np
+        holds = checker.holds
+        if np is not None:
+            out = np.empty(self.point_total, dtype=bool)
+            pid = 0
+            for run in self.system.runs:
+                for m in range(run.duration + 1):
+                    out[pid] = holds(formula, Point(run, m))
+                    pid += 1
+            return out
+        bits = 0
+        pid = 0
+        for run in self.system.runs:
+            for m in range(run.duration + 1):
+                if holds(formula, Point(run, m)):
+                    bits |= 1 << pid
+                pid += 1
+        return bits
+
+    def _vector_formula(self, formula: Formula) -> PointSet | None:
+        np = self.np
+        if np is None:
+            return None
+        if isinstance(formula, _Const):
+            return self.full_set() if formula.value else self.empty_set()
+        if isinstance(formula, Crashed):
+            if self.crash_mask_rows is None:
+                return None
+            try:
+                bit = self.system.process_bit(formula.process)
+            except KeyError:
+                return None
+            result: PointSet = ((self.crash_mask_rows >> bit) & 1).astype(bool)
+            return result
+        if isinstance(formula, Not):
+            child = self._vector_formula(formula.child)
+            return None if child is None else ~child
+        if isinstance(formula, (And, Or)):
+            parts = [self._vector_formula(part) for part in formula.parts]
+            if any(part is None for part in parts):
+                return None
+            if not parts:
+                return self.full_set() if isinstance(formula, And) else self.empty_set()
+            op = np.logical_and if isinstance(formula, And) else np.logical_or
+            return op.reduce(parts)
+        if isinstance(formula, Implies):
+            a = self._vector_formula(formula.antecedent)
+            b = self._vector_formula(formula.consequent)
+            if a is None or b is None:
+                return None
+            return ~a | b
+        if isinstance(formula, Knows):
+            child = self._vector_formula(formula.child)
+            if child is None:
+                return None
+            try:
+                j = self.system.process_bit(formula.process)
+            except KeyError:
+                return None
+            sel = child[self.class_points_csr]
+            hits = np.add.reduceat(sel, self.class_offsets_csr[:-1])
+            ok = hits == self.class_sizes
+            knows_vec: PointSet = ok[self.point_class_rows[j]]
+            return knows_vec
+        return None

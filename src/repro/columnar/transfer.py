@@ -1,0 +1,177 @@
+"""Shipping run batches between pool processes via shared memory.
+
+The pickled-object path moves the whole run graph -- every Run, History
+event, Message and meta dict -- through the executor's result pipe.
+This module moves the *arena* instead: the worker flattens its runs
+(:func:`repro.columnar.arena.encode_runs`), writes the int64 buffers
+plus the pickled event alphabet and meta dicts into one
+``multiprocessing.shared_memory`` block, and returns only a
+:class:`ShippedRuns` header (block name + segment table + process
+tuple: a few hundred bytes) over the pipe.  The driver attaches,
+copies the segments out, unlinks the block, and decodes.
+
+Protocol (Python 3.11/3.12 semantics):
+
+* the *worker* creates the block, copies the payload in, closes its
+  mapping, and **unregisters** the block from its ``resource_tracker``
+  -- ownership transfers with the header, and only the creating process
+  auto-registers;
+* the *driver* attaches by name, copies, closes, and ``unlink``\\ s --
+  exactly once, in a ``finally`` block, so the segment never outlives
+  the result even on decode errors.
+
+When shared memory is unavailable (or creation fails) the payload
+travels inline in the header -- same bytes, ordinary pickling, no
+zero-copy win but also no behavior change.  ``ship_runs`` never raises
+for environmental reasons.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.columnar.arena import BUFFER_FIELDS, RunArena, decode_runs, encode_runs
+from repro.columnar.backend import (
+    buffer_from_bytes,
+    buffer_to_bytes,
+    numpy_or_none,
+)
+from repro.model.events import ProcessId
+from repro.model.run import Run
+
+#: Segment names beyond the int64 buffers: pickled tables.
+_PICKLED_SEGMENTS = ("events", "metas")
+
+
+@dataclass(frozen=True)
+class ShippedRuns:
+    """Picklable handle to a run batch parked in shared memory.
+
+    ``segments`` maps each payload segment name to its ``(offset,
+    length)`` in the block; ``payload`` carries the same bytes inline
+    when shared memory was unavailable (then ``shm_name`` is None).
+    """
+
+    processes: tuple[ProcessId, ...]
+    n_runs: int
+    segments: tuple[tuple[str, int, int], ...]
+    total_bytes: int
+    shm_name: str | None = None
+    payload: bytes | None = None
+
+
+def _arena_segments(arena: RunArena) -> list[tuple[str, bytes]]:
+    parts: list[tuple[str, bytes]] = [
+        (name, buffer_to_bytes(getattr(arena, name))) for name in BUFFER_FIELDS
+    ]
+    parts.append(("events", pickle.dumps(arena.events)))
+    parts.append(("metas", pickle.dumps(arena.metas)))
+    return parts
+
+
+def _arena_from_segments(
+    shipped: ShippedRuns, blob: "bytes | memoryview"
+) -> RunArena:
+    np = numpy_or_none()
+    table = {name: (off, length) for name, off, length in shipped.segments}
+
+    def segment(name: str) -> bytes:
+        off, length = table[name]
+        return bytes(blob[off : off + length])
+
+    buffers = {
+        name: buffer_from_bytes(segment(name), np) for name in BUFFER_FIELDS
+    }
+    events: tuple[Any, ...] = pickle.loads(segment("events"))
+    metas: tuple[dict[str, Any], ...] = pickle.loads(segment("metas"))
+    return RunArena(
+        processes=shipped.processes,
+        events=events,
+        n_runs=shipped.n_runs,
+        metas=metas,
+        **buffers,
+    )
+
+
+def ship_runs(
+    runs: Sequence[Run],
+    *,
+    processes: Sequence[ProcessId] | None = None,
+    prefer_shm: bool = True,
+) -> ShippedRuns:
+    """Encode ``runs`` and park the payload for another process.
+
+    Call in the *worker*; pass the returned header through the result
+    pipe; call :func:`receive_runs` exactly once in the *driver*.
+    """
+    arena = encode_runs(runs, processes=processes)
+    parts = _arena_segments(arena)
+    segments: list[tuple[str, int, int]] = []
+    offset = 0
+    for name, data in parts:
+        segments.append((name, offset, len(data)))
+        offset += len(data)
+    total = offset
+    if prefer_shm and total:
+        try:
+            from multiprocessing import resource_tracker, shared_memory
+
+            block = shared_memory.SharedMemory(create=True, size=total)
+            try:
+                for (_, off, _), (_, data) in zip(segments, parts):
+                    block.buf[off : off + len(data)] = data
+                name = block.name
+            finally:
+                block.close()
+            try:
+                # Ownership moves with the header: the driver unlinks.
+                resource_tracker.unregister(block._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:  # pragma: no cover - tracker API drift
+                pass
+            return ShippedRuns(
+                processes=arena.processes,
+                n_runs=arena.n_runs,
+                segments=tuple(segments),
+                total_bytes=total,
+                shm_name=name,
+            )
+        except Exception:  # pragma: no cover - no /dev/shm, perms, ...
+            pass
+    return ShippedRuns(
+        processes=arena.processes,
+        n_runs=arena.n_runs,
+        segments=tuple(segments),
+        total_bytes=total,
+        shm_name=None,
+        payload=b"".join(data for _, data in parts),
+    )
+
+
+def receive_runs(shipped: ShippedRuns) -> tuple[Run, ...]:
+    """Decode a shipped batch, releasing its shared-memory block.
+
+    Safe to call exactly once per header; the block is unlinked even
+    when decoding fails.
+    """
+    if shipped.shm_name is None:
+        blob = shipped.payload if shipped.payload is not None else b""
+        return decode_runs(_arena_from_segments(shipped, blob))
+    from multiprocessing import shared_memory
+
+    block = shared_memory.SharedMemory(name=shipped.shm_name, create=False)
+    try:
+        data = bytes(block.buf)
+    finally:
+        block.close()
+        try:
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+    return decode_runs(_arena_from_segments(shipped, data))
+
+
+def header_bytes(shipped: ShippedRuns) -> int:
+    """Bytes this header moves through the result pipe when pickled."""
+    return len(pickle.dumps(shipped, protocol=pickle.HIGHEST_PROTOCOL))

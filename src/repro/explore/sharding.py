@@ -16,7 +16,10 @@ sharding protocol trivial and its determinism easy to argue:
    that finishes a light chunk steals the next queued one;
 3. each chunk is drained to its leaf list by
    :func:`repro.explore.scheduler.drain_frontier` in a
-   ``ProcessPoolExecutor`` worker, with per-shard ``ExploreStats``;
+   ``ProcessPoolExecutor`` worker, with per-shard ``ExploreStats``; the
+   leaf *runs* come back through a shared-memory arena
+   (:mod:`repro.columnar.transfer`) rather than the pickled result
+   pipe, with plain pickling as the automatic fallback;
 4. the driver consumes shard results in *chunk index order* (not
    completion order) and merges stats via ``ExploreStats.merge_shard``.
 
@@ -36,6 +39,7 @@ result exactly at the cost of the parallelism.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Iterator, Sequence
 
@@ -64,6 +68,58 @@ def _explore_chunk(
     return drain_frontier(spec, entries)
 
 
+def _explore_chunk_shipped(
+    spec: "ExploreSpec", entries: Sequence[tuple["CrashPlan", "Trace"]]
+) -> tuple[str, object]:
+    """Worker entry point with arena transfer.
+
+    Leaf runs are parked in one shared-memory arena
+    (:func:`repro.columnar.ship_runs`); only the (plan, trace,
+    fixpoint) coordinates, per-shard stats, and the arena header cross
+    the result pipe.  Falls back to plain pickling when
+    ``REPRO_POOL_TRANSFER=pickle``, on mixed process tuples, or when
+    shared memory is unavailable -- the driver detects the form.
+    """
+    leaves, stats = _explore_chunk(spec, entries)
+    if os.environ.get("REPRO_POOL_TRANSFER", "arena") == "pickle" or not leaves:
+        return ("plain", (leaves, stats))
+    runs = [run for _plan, _trace, run, _fix in leaves]
+    procs = runs[0].processes
+    if any(run.processes != procs for run in runs):
+        return ("plain", (leaves, stats))
+    try:
+        from repro.columnar.transfer import ship_runs
+
+        shipped = ship_runs(runs)
+    except Exception:  # pragma: no cover - environmental
+        return ("plain", (leaves, stats))
+    coords = [(plan, trace, fix) for plan, trace, _run, fix in leaves]
+    return ("shipped", (coords, stats, shipped))
+
+
+def _unship_result(
+    raw: tuple[str, object],
+) -> tuple[list["Leaf"], "ExploreStats"]:
+    """Driver side: decode a shard result back into (leaves, stats).
+
+    Raises on a failed shared-memory handoff; the caller's degraded
+    path then re-drains the chunk serially (the block is unlinked by
+    ``receive_runs`` even on failure).
+    """
+    tag, payload = raw
+    if tag == "plain":
+        return payload  # type: ignore[return-value]
+    coords, stats, shipped = payload  # type: ignore[misc]
+    from repro.columnar.transfer import receive_runs
+
+    runs = receive_runs(shipped)
+    leaves: list["Leaf"] = [
+        (plan, trace, run, fix)
+        for (plan, trace, fix), run in zip(coords, runs)
+    ]
+    return leaves, stats
+
+
 def run_sharded(
     spec: "ExploreSpec",
     frontier: Sequence[tuple["CrashPlan", "Trace"]],
@@ -84,12 +140,12 @@ def run_sharded(
     chunks = [list(frontier[i::n_chunks]) for i in range(n_chunks)]
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
-        futures: list[Future[tuple[list["Leaf"], "ExploreStats"]]] = [
-            pool.submit(_explore_chunk, spec, chunk) for chunk in chunks
+        futures: list[Future[tuple[str, object]]] = [
+            pool.submit(_explore_chunk_shipped, spec, chunk) for chunk in chunks
         ]
         for chunk, future in zip(chunks, futures):
             try:
-                result = future.result()
+                result = _unship_result(future.result())
             except Exception:
                 # Degraded mode: the pool died under this chunk (worker
                 # OOM, interpreter teardown).  The chunk is pure, so

@@ -137,6 +137,13 @@ class GroupChecker:
         system = self.system
         system.note_knowledge_query()
         members = [p for p in system.processes if p in group]
+        kernel = system.columnar_kernel()
+        if kernel is not None:
+            base = kernel.formula_set(self.checker, formula)
+            fixed = kernel.ck_fixpoint(
+                [system.process_bit(p) for p in members], base
+            )
+            return {system.point_key(pid) for pid in kernel.iter_point_ids(fixed)}
         class_bits = [system.class_bitsets(p) for p in members]
         current = self._formula_bits(formula)
         while True:
@@ -175,12 +182,30 @@ class GroupChecker:
         level is final -- no nested formula is ever materialized.
         """
         system = self.system
+        members = [p for p in system.processes if p in group]
+        kernel = system.columnar_kernel()
+        if kernel is not None:
+            # The point's class per group member (by point id when
+            # in-system, by local history otherwise; an absent class is
+            # empty = vacuous truth).
+            point_cids = [kernel.class_id_at(p, point) for p in group]
+            members_j = [system.process_bit(p) for p in members]
+            level = kernel.formula_set(self.checker, formula)
+            depth = 0
+            while depth < cap:
+                if not all(
+                    kernel.class_in_set(cid, level) for cid in point_cids
+                ):
+                    break
+                depth += 1
+                if depth < cap:
+                    level = kernel.e_step(members_j, level)
+            return depth
         # The point's class bitset per group member (by local history, so
         # foreign points work; an absent class is empty = vacuous truth).
         point_classes = [
             system.class_bits_for_history(p, point.history(p)) for p in group
         ]
-        members = [p for p in system.processes if p in group]
         class_bits = [system.class_bitsets(p) for p in members]
         level = self._formula_bits(formula)
         depth = 0

@@ -203,12 +203,28 @@ class ModelChecker:
             # Class-based: the memo layer above already keys this node on
             # p's local history, so this body runs once per ~_p class.
             self.system.note_knowledge_query()
+            stats = self.stats
+            child = formula.child
+            kernel = self.system.columnar_kernel()
+            if kernel is not None:
+                cid = kernel.class_id_at(formula.process, point)
+                if cid is None:
+                    return True  # foreign history: vacuously true (empty class)
+                stats.knows_class_evals += 1
+                if isinstance(child, Crashed):
+                    # K_p(crash(q)) is one bit of the class's AND-mask.
+                    bit = self.system.process_bit(child.process)
+                    return bool((kernel.known_mask(cid) >> bit) & 1)
+                evaluate = self._eval
+                for candidate in kernel.points_of_class(cid):
+                    stats.knows_point_evals += 1
+                    if not evaluate(child, candidate):
+                        return False
+                return True
             cls = self.system.class_of(formula.process, point)
             if cls is None:
                 return True  # foreign history: vacuously true (empty class)
-            stats = self.stats
             stats.knows_class_evals += 1
-            child = formula.child
             if isinstance(child, Crashed):
                 # K_p(crash(q)) is one bit of the class's AND-mask.
                 bit = self.system.process_bit(child.process)

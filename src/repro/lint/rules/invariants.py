@@ -1,10 +1,14 @@
-"""Model-invariant rules (INV001–INV003).
+"""Model-invariant rules (INV001–INV004).
 
 ``Run``/``History``/``System`` are value objects: the epistemic kernel
 interns histories, caches equivalence-class tables, and keys bitsets by
 point numbering, all on the assumption that a constructed model object
 never changes.  A post-construction write invalidates those caches
-without invalidating the answers already derived from them.
+without invalidating the answers already derived from them.  The
+columnar arena buffers extend the same contract across process
+boundaries: their bytes are shared (or re-materialised bit-identically)
+between driver and pool workers, so a write outside ``repro.columnar``
+silently forks the two views.
 """
 
 from __future__ import annotations
@@ -45,6 +49,25 @@ KERNEL_MODULES = frozenset(
         "repro.knowledge.group",
     }
 )
+
+#: columnar arena / kernel column buffers — immutable outside repro.columnar
+ARENA_BUFFER_ATTRS = frozenset(
+    {
+        "run_durations",
+        "tl_offsets",
+        "tl_times",
+        "tl_events",
+        "crash_mask_rows",
+        "point_class_rows",
+        "class_points_csr",
+        "class_offsets_csr",
+        "class_sizes",
+        "known_masks",
+    }
+)
+
+#: the only package allowed to fill or rebind arena buffers
+_ARENA_PACKAGES: tuple[str, ...] = ("repro.columnar",)
 
 #: methods in which object.__setattr__ is construction, not mutation
 _CONSTRUCTION_METHODS = frozenset(
@@ -190,6 +213,41 @@ class KernelTableWriteRule(Rule):
                         f"write to kernel-internal table .{attr.attr} "
                         f"outside {', '.join(sorted(KERNEL_MODULES)[:1])}...",
                     )
+
+
+@register
+class ArenaBufferWriteRule(Rule):
+    """INV004: arena buffers (``RunArena`` columns and the columnar
+    kernel's class tables) are frozen after construction — workers and
+    the driver share their bytes, and cache entries re-materialise them
+    bit-identically.  A write outside ``repro.columnar`` forks the
+    driver's view from the workers' without either side noticing."""
+
+    id = "INV004"
+    summary = "write to an arena buffer outside repro.columnar"
+    hint = (
+        "arena buffers are immutable; re-encode with "
+        "repro.columnar.encode_runs instead of editing columns in place"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        if mod.in_packages(_ARENA_PACKAGES):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(
+                node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)
+            ):
+                continue
+            for attr in _store_attributes(node):
+                if attr.attr not in ARENA_BUFFER_ATTRS:
+                    continue
+                yield self.finding(
+                    mod,
+                    attr.lineno,
+                    attr.col_offset,
+                    f"write to arena buffer .{attr.attr} outside "
+                    "repro.columnar",
+                )
 
 
 @register

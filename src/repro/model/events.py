@@ -15,7 +15,13 @@ The paper's events are:
 
 All events are immutable and hashable so that histories (and therefore
 points) can be used as dictionary keys when building the
-indistinguishability index for knowledge evaluation.
+indistinguishability index for knowledge evaluation.  Every event class
+precomputes its hash at construction (the ``_hash`` slot): events are
+hashed far more often than they are created -- history interning and
+arena encoding probe dicts keyed by them on every kernel build -- and
+the generated dataclass ``__hash__`` would rebuild a field tuple per
+call.  The cached hash mixes in the class, which keeps it consistent
+with ``__eq__`` (equality already requires identical classes).
 
 Process identifiers are plain strings (``"p1"``, ``"p2"``, ...).  Action
 identifiers are also strings; the paper requires the action sets ``A_p``
@@ -46,6 +52,15 @@ class Message:
 
     kind: str
     payload: Payload = None
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((Message, self.kind, self.payload))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.payload is None:
@@ -60,6 +75,17 @@ class SendEvent:
     sender: ProcessId
     receiver: ProcessId
     message: Message
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((SendEvent, self.sender, self.receiver, self.message)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def process(self) -> ProcessId:
@@ -73,6 +99,17 @@ class ReceiveEvent:
     receiver: ProcessId
     sender: ProcessId
     message: Message
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((ReceiveEvent, self.receiver, self.sender, self.message)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def process(self) -> ProcessId:
@@ -85,6 +122,15 @@ class DoEvent:
 
     process: ProcessId
     action: ActionId
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((DoEvent, self.process, self.action))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +144,15 @@ class InitEvent:
 
     process: ProcessId
     action: ActionId
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((InitEvent, self.process, self.action))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,6 +163,13 @@ class CrashEvent:
     """
 
     process: ProcessId
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((CrashEvent, self.process)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,10 +177,17 @@ class StandardSuspicion:
     """A standard failure-detector report: "the processes in S are faulty"."""
 
     suspects: frozenset[ProcessId]
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not isinstance(self.suspects, frozenset):
             object.__setattr__(self, "suspects", frozenset(self.suspects))
+        object.__setattr__(
+            self, "_hash", hash((StandardSuspicion, self.suspects))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,6 +199,7 @@ class GeneralizedSuspicion:
 
     suspects: frozenset[ProcessId]
     count: int
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not isinstance(self.suspects, frozenset):
@@ -139,6 +209,14 @@ class GeneralizedSuspicion:
                 f"generalized suspicion requires 0 <= k <= |S|, "
                 f"got k={self.count}, |S|={len(self.suspects)}"
             )
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((GeneralizedSuspicion, self.suspects, self.count)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 Suspicion = Union[StandardSuspicion, GeneralizedSuspicion]
@@ -157,6 +235,17 @@ class SuspectEvent:
     process: ProcessId
     report: Suspicion
     derived: bool = field(default=False)
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((SuspectEvent, self.process, self.report, self.derived)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 Event = Union[SendEvent, ReceiveEvent, DoEvent, InitEvent, CrashEvent, SuspectEvent]

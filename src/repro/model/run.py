@@ -59,6 +59,7 @@ class Run:
         "_hash",
         "_prefixes",
         "_crash_masks",
+        "_timeline_columns",
     )
 
     def __init__(
@@ -95,6 +96,9 @@ class Run:
         # far more runs than the knowledge kernel ever queries.
         self._prefixes: dict[ProcessId, list[History]] = {}
         self._crash_masks: tuple[int, ...] | None = None
+        self._timeline_columns: (
+            tuple[tuple[Event, ...], list[int], list[int], list[int]] | None
+        ) = None
 
     # -- identity ----------------------------------------------------------
 
@@ -248,6 +252,35 @@ class Run:
                 out.append(acc)
             masks = self._crash_masks = tuple(out)
         return masks
+
+    def timeline_columns(
+        self,
+    ) -> tuple[tuple[Event, ...], list[int], list[int], list[int]]:
+        """Flattened timeline columns, cached per run.
+
+        Returns ``(alphabet, times, event_ids, lengths)``: the run's
+        distinct events in first-occurrence order, the flat ``(time,
+        event_id)`` entries in process order, and each process's entry
+        count.  :mod:`repro.columnar` batches runs into arenas by
+        remapping these *local* ids into a shared alphabet -- only the
+        (small) alphabet is re-hashed per batch, never each occurrence.
+        Callers must not mutate the returned lists.
+        """
+        cols = self._timeline_columns
+        if cols is None:
+            ids: dict[Event, int] = {}
+            intern = ids.setdefault
+            times: list[int] = []
+            eids: list[int] = []
+            lengths: list[int] = []
+            for p in self._processes:
+                tl = self._timelines[p]
+                if tl:
+                    times.extend([t for t, _ in tl])
+                    eids.extend([intern(e, len(ids)) for _, e in tl])
+                lengths.append(len(tl))
+            cols = self._timeline_columns = (tuple(ids), times, eids, lengths)
+        return cols
 
     # -- prefix relations -------------------------------------------------------
 

@@ -28,6 +28,13 @@ Disk integrity (the cache must never poison an ensemble):
   payload) are still readable -- without a checksum there is nothing to
   verify, but parse failures quarantine the same way.
 
+Exploration groups are written in the v4 *arena* format: the whole run
+set rides as one :class:`repro.columnar.RunArena` (distinct events
+encoded once, occurrences as packed integers), which is roughly an
+order of magnitude smaller than the per-run timeline dicts of v2/v3.
+All earlier formats stay readable; ``bytes_written`` / ``bytes_read``
+track disk entry sizes.
+
 ``run_ensemble`` consults the process-wide default cache unless told
 otherwise; disable with ``run_ensemble(..., cache=None)``.
 """
@@ -49,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.failures import CrashPlan
 
 _RUN_FORMAT = "repro-run-entry-v2"
+_EXPLORE_FORMAT_V4 = "repro-exploration-v4"
 _EXPLORE_FORMAT_V3 = "repro-exploration-v3"
 _EXPLORE_FORMAT = "repro-exploration-v2"
 _EXPLORE_FORMAT_V1 = "repro-exploration-v1"
@@ -147,6 +155,8 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.skips = 0  # unpicklable specs: cache not applicable
+        self.bytes_written = 0  # disk entry sizes, published bytes
+        self.bytes_read = 0  # disk entry sizes, successfully decoded
         self.quarantined: list[tuple[str, str]] = []
 
     def __len__(self) -> int:
@@ -181,12 +191,14 @@ class RunCache:
         if run is None and self.directory is not None:
             path = self._path(digest)
             if path.exists():
+                text = path.read_text(encoding="utf-8")
                 try:
-                    run = _decode_run_entry(path.read_text(encoding="utf-8"))
+                    run = _decode_run_entry(text)
                 except Exception as exc:
                     self._quarantine(path, digest, f"{type(exc).__name__}: {exc}")
                     run = None
                 else:
+                    self.bytes_read += len(text)
                     # The JSON codec keeps scalars and crash plans; anything
                     # else the executor recorded is recoverable from the spec.
                     run.meta.setdefault("crash_plan", spec.crash_plan)
@@ -204,7 +216,9 @@ class RunCache:
             return
         self._memory[digest] = run
         if self.directory is not None:
-            _atomic_write_text(self._path(digest), _encode_run_entry(run))
+            text = _encode_run_entry(run)
+            _atomic_write_text(self._path(digest), text)
+            self.bytes_written += len(text)
 
     # -- exploration groups -------------------------------------------------
 
@@ -232,14 +246,16 @@ class RunCache:
         if entry is None and self.directory is not None:
             path = self._explore_path(digest)
             if path.exists():
+                text = path.read_text(encoding="utf-8")
                 try:
-                    entry = _load_exploration(path)
+                    entry = _load_exploration(text)
                 except Exception as exc:
                     self._quarantine(
                         path, f"explore-{digest}", f"{type(exc).__name__}: {exc}"
                     )
                     entry = None
                 else:
+                    self.bytes_read += len(text)
                     self._explorations[digest] = entry
         if entry is None:
             self.misses += 1
@@ -262,27 +278,45 @@ class RunCache:
         )
         self._explorations[digest] = entry
         if self.directory is not None:
-            _save_exploration(entry, self._explore_path(digest))
+            self.bytes_written += _save_exploration(
+                entry, self._explore_path(digest)
+            )
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot, including disk entry sizes in bytes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "skips": self.skips,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "quarantined": len(self.quarantined),
+        }
 
     def clear(self) -> None:
         """Forget every in-memory entry (disk files are left alone)."""
         self._memory.clear()
         self._explorations.clear()
         self.hits = self.misses = self.skips = 0
+        self.bytes_written = self.bytes_read = 0
         self.quarantined.clear()
 
 
-def _save_exploration(entry: ExplorationEntry, path: Path) -> None:
-    from repro.model.serialize import run_to_dict
+def _save_exploration(entry: ExplorationEntry, path: Path) -> int:
+    """Write a v4 (arena-bytes) exploration entry; returns bytes written.
 
-    body: dict[str, object] = {
-        "stats": entry.stats.as_dict(),
-        "runs": [run_to_dict(run) for run in entry.runs],
-    }
-    if entry.leaves is None:
-        fmt = _EXPLORE_FORMAT
-    else:
-        fmt = _EXPLORE_FORMAT_V3
+    The run set is stored as one :class:`repro.columnar.RunArena` --
+    each distinct event encoded once, occurrences as packed integers --
+    instead of a per-run timeline dict list, which shrinks entries by
+    roughly an order of magnitude on explorer output.
+    """
+    from repro.columnar.arena import encode_runs
+    from repro.columnar.jsonio import arena_to_jsonable
+
+    body: dict[str, object] = {"stats": entry.stats.as_dict()}
+    if entry.runs:
+        body["arena"] = arena_to_jsonable(encode_runs(entry.runs))
+    if entry.leaves is not None:
         body["leaves"] = [
             [
                 [[pid, tick] for pid, tick in plan.crashes],
@@ -293,26 +327,29 @@ def _save_exploration(entry: ExplorationEntry, path: Path) -> None:
             for plan, trace, fixpoint, run_index in entry.leaves
         ]
     payload = {
-        "format": fmt,
+        "format": _EXPLORE_FORMAT_V4,
         "sha256": _body_sha256(body),
         "body": body,
     }
-    _atomic_write_text(path, json.dumps(payload))
+    text = json.dumps(payload)
+    _atomic_write_text(path, text)
+    return len(text)
 
 
-def _load_exploration(path: Path) -> ExplorationEntry:
+def _load_exploration(text: str) -> ExplorationEntry:
+    """Parse any exploration entry format (v4 arena, v3/v2 run dicts, v1)."""
     from repro.explore.reduction import ExploreStats
     from repro.model.serialize import run_from_dict
     from repro.sim.failures import CrashPlan
 
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload = json.loads(text)
     except Exception as exc:
         raise CacheIntegrityError(f"unparseable exploration entry: {exc}") from exc
     if not isinstance(payload, dict):
         raise CacheIntegrityError("exploration entry is not a JSON object")
     fmt = payload.get("format")
-    if fmt in (_EXPLORE_FORMAT, _EXPLORE_FORMAT_V3):
+    if fmt in (_EXPLORE_FORMAT, _EXPLORE_FORMAT_V3, _EXPLORE_FORMAT_V4):
         body = payload.get("body")
         if _body_sha256(body) != payload.get("sha256"):
             raise CacheIntegrityError(
@@ -328,27 +365,42 @@ def _load_exploration(path: Path) -> ExplorationEntry:
     stats = ExploreStats(
         **{k: v for k, v in body.get("stats", {}).items() if k in known}
     )
-    runs = tuple(run_from_dict(entry) for entry in body.get("runs", ()))
+    if fmt == _EXPLORE_FORMAT_V4:
+        from repro.columnar.arena import decode_runs
+        from repro.columnar.jsonio import arena_from_jsonable
+
+        raw_arena = body.get("arena")
+        if raw_arena is None:
+            runs: tuple[Run, ...] = ()
+        elif isinstance(raw_arena, dict):
+            runs = decode_runs(arena_from_jsonable(raw_arena))
+        else:
+            raise CacheIntegrityError("v4 exploration arena is not an object")
+    else:
+        runs = tuple(run_from_dict(entry) for entry in body.get("runs", ()))
     leaves: tuple[LeafRecord, ...] | None = None
-    if fmt == _EXPLORE_FORMAT_V3:
+    if fmt in (_EXPLORE_FORMAT_V3, _EXPLORE_FORMAT_V4):
         raw_leaves = body.get("leaves")
-        if not isinstance(raw_leaves, list):
+        if raw_leaves is None and fmt == _EXPLORE_FORMAT_V4:
+            pass  # v4 entries may legitimately record no leaves
+        elif not isinstance(raw_leaves, list):
             raise CacheIntegrityError("v3 exploration entry without leaves")
-        decoded: list[LeafRecord] = []
-        for crashes, trace, fixpoint, run_index in raw_leaves:
-            if not 0 <= int(run_index) < len(runs):
-                raise CacheIntegrityError(
-                    "exploration leaf points outside its run list"
+        else:
+            decoded: list[LeafRecord] = []
+            for crashes, trace, fixpoint, run_index in raw_leaves:
+                if not 0 <= int(run_index) < len(runs):
+                    raise CacheIntegrityError(
+                        "exploration leaf points outside its run list"
+                    )
+                decoded.append(
+                    (
+                        CrashPlan.of({pid: int(tick) for pid, tick in crashes}),
+                        tuple(int(i) for i in trace),
+                        bool(fixpoint),
+                        int(run_index),
+                    )
                 )
-            decoded.append(
-                (
-                    CrashPlan.of({pid: int(tick) for pid, tick in crashes}),
-                    tuple(int(i) for i in trace),
-                    bool(fixpoint),
-                    int(run_index),
-                )
-            )
-        leaves = tuple(decoded)
+            leaves = tuple(decoded)
     return ExplorationEntry(runs, stats, leaves)
 
 

@@ -1,0 +1,18 @@
+# repro: lint-module[repro.explore.fixture_inv004]
+"""Known-bad fixture: INV004 writes to arena buffers outside repro.columnar."""
+
+
+def poke(arena, kernel, system):
+    arena.tl_times[0] = 99  # expect: INV004
+    arena.run_durations = None  # expect: INV004
+    kernel.class_sizes[3] += 1  # expect: INV004
+    system.kernel.point_class_rows[0][5] = 2  # expect: INV004
+    del arena.tl_events  # expect: INV004
+
+
+def fine(arena, kernel):
+    # reading columns is the whole point; only stores fork the views
+    total = int(arena.tl_times[0]) + len(kernel.class_sizes)
+    local = list(arena.run_durations)
+    local[0] = 99  # a copy, not the buffer
+    return total

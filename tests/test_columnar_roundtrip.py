@@ -1,0 +1,233 @@
+"""Round-trip tests for the columnar run arena (encode/decode, JSON, shm).
+
+The arena's contract is *losslessness*: ``decode_runs(encode_runs(rs))``
+gives back value-equal runs (same hashes, timelines, durations, metas),
+through every representation the arena travels in -- in-memory buffers,
+the v4 cache's JSON form, and the shared-memory transfer header.  The
+hypothesis property drives randomized batches through all three; the
+explicit tests pin the edge cases (crashes, empty batches, events past
+the duration, mixed process tuples) and buffer immutability.
+
+Every test runs twice: once with whatever buffer backend is available,
+once with ``REPRO_COLUMNAR_NUMPY=0`` forcing the stdlib ``array``
+fallback, which is what the no-numpy CI leg exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import (
+    RunArena,
+    decode_runs,
+    encode_runs,
+    numpy_or_none,
+    receive_runs,
+    ship_runs,
+)
+from repro.columnar.jsonio import arena_from_jsonable, arena_to_jsonable
+from repro.columnar.transfer import header_bytes
+from repro.model.context import make_process_ids
+from repro.model.events import CrashEvent, DoEvent
+from repro.model.run import Run
+from repro.model.synthetic import synthetic_run
+
+BACKENDS = ["default", "no-numpy"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    """Run the test under each buffer backend the build supports."""
+    if request.param == "no-numpy":
+        monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "0")
+    else:
+        monkeypatch.delenv("REPRO_COLUMNAR_NUMPY", raising=False)
+    return request.param
+
+
+def make_batch(
+    n: int,
+    n_runs: int,
+    seed: int,
+    *,
+    duration: int = 6,
+    crash_prob: float = 0.4,
+) -> tuple[Run, ...]:
+    rng = random.Random(seed)
+    procs = make_process_ids(n)
+    return tuple(
+        synthetic_run(procs, rng, duration=duration, crash_prob=crash_prob)
+        for _ in range(n_runs)
+    )
+
+
+def assert_lossless(original: tuple[Run, ...], rebuilt: tuple[Run, ...]) -> None:
+    assert rebuilt == original
+    for a, b in zip(original, rebuilt):
+        assert hash(a) == hash(b)
+        assert a.duration == b.duration
+        assert a.meta == b.meta
+        for p in a.processes:
+            assert tuple(a.timeline(p)) == tuple(b.timeline(p))
+
+
+# -- hypothesis property: encode/decode through every representation ------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=4),
+    n_runs=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    duration=st.integers(min_value=1, max_value=8),
+    crash_prob=st.sampled_from([0.0, 0.3, 0.8]),
+    use_numpy=st.booleans(),
+)
+def test_roundtrip_property(n, n_runs, seed, duration, crash_prob, use_numpy):
+    prior = os.environ.get("REPRO_COLUMNAR_NUMPY")
+    os.environ["REPRO_COLUMNAR_NUMPY"] = "1" if use_numpy else "0"
+    try:
+        procs = make_process_ids(n)
+        runs = make_batch(n, n_runs, seed, duration=duration, crash_prob=crash_prob)
+        arena = encode_runs(runs, processes=procs)
+        assert arena.n_runs == len(runs)
+        assert_lossless(runs, decode_runs(arena))
+        # ... and through the JSON form used by v4 cache entries.
+        wire = json.loads(json.dumps(arena_to_jsonable(arena)))
+        assert_lossless(runs, decode_runs(arena_from_jsonable(wire)))
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_COLUMNAR_NUMPY", None)
+        else:
+            os.environ["REPRO_COLUMNAR_NUMPY"] = prior
+
+
+# -- explicit edge cases ---------------------------------------------------
+
+
+def test_crashed_runs_preserve_crash_structure(backend):
+    runs = make_batch(3, 8, seed=5, crash_prob=0.9)
+    rebuilt = decode_runs(encode_runs(runs))
+    assert any(r.faulty() for r in runs), "fixture should contain crashes"
+    for a, b in zip(runs, rebuilt):
+        assert a.faulty() == b.faulty()
+        for p in a.processes:
+            for t in range(a.duration + 1):
+                assert a.crashed_by(p, t) == b.crashed_by(p, t)
+
+
+def test_event_past_duration_roundtrips(backend):
+    """The kernel clamps to the duration; the arena must not -- events
+    past the horizon are part of the run's value and survive encoding."""
+    procs = make_process_ids(2)
+    run = Run(
+        procs,
+        {
+            "p1": [(1, DoEvent("p1", ("p1", "a"))), (9, DoEvent("p1", ("p1", "late")))],
+            "p2": [(10, CrashEvent("p2"))],
+        },
+        duration=4,
+    )
+    (rebuilt,) = decode_runs(encode_runs([run]))
+    assert rebuilt == run
+    assert tuple(rebuilt.timeline("p1")) == tuple(run.timeline("p1"))
+    assert tuple(rebuilt.timeline("p2")) == tuple(run.timeline("p2"))
+
+
+def test_empty_batch_needs_explicit_processes(backend):
+    procs = make_process_ids(3)
+    arena = encode_runs((), processes=procs)
+    assert arena.n_runs == 0 and arena.processes == procs
+    assert decode_runs(arena) == ()
+    with pytest.raises(ValueError, match="empty batch"):
+        encode_runs(())
+
+
+def test_mixed_process_tuples_rejected(backend):
+    a = make_batch(2, 1, seed=0)[0]
+    b = make_batch(3, 1, seed=0)[0]
+    with pytest.raises(ValueError, match="share a process set"):
+        encode_runs([a, b])
+
+
+def test_missing_run_timelines_default_empty(backend):
+    """A run constructed without a timeline for some process encodes as
+    an empty CSR row and decodes back to the same empty timeline."""
+    procs = make_process_ids(3)
+    run = Run(procs, {"p1": [(1, DoEvent("p1", ("p1", "x")))]}, duration=3)
+    (rebuilt,) = decode_runs(encode_runs([run]))
+    assert rebuilt == run
+    assert tuple(rebuilt.timeline("p2")) == ()
+    assert tuple(rebuilt.timeline("p3")) == ()
+
+
+def test_metas_carried_by_value(backend):
+    runs = tuple(
+        Run(
+            make_process_ids(2),
+            {"p1": [(1, DoEvent("p1", ("p1", "a")))]},
+            duration=2,
+            meta={"seed": i, "note": f"r{i}"},
+        )
+        for i in range(3)
+    )
+    arena = encode_runs(runs)
+    rebuilt = decode_runs(arena)
+    for a, b in zip(runs, rebuilt):
+        assert b.meta == a.meta
+        assert b.meta is not a.meta  # decoded metas are private copies
+
+
+def test_buffers_are_frozen(backend):
+    arena = encode_runs(make_batch(3, 4, seed=2))
+    np = numpy_or_none()
+    if np is None:
+        pytest.skip("stdlib buffers rely on INV004 (static) for immutability")
+    for name in ("run_durations", "tl_offsets", "tl_times", "tl_events"):
+        buf = getattr(arena, name)
+        assert not buf.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            buf[0] = 99  # repro: lint-ok[INV004] proving the freeze, not relying on it
+
+
+def test_jsonable_rejects_unknown_format(backend):
+    arena = encode_runs(make_batch(2, 2, seed=1))
+    data = arena_to_jsonable(arena)
+    data["format"] = "repro-arena-v999"
+    with pytest.raises(ValueError, match="unsupported arena format"):
+        arena_from_jsonable(data)
+
+
+def test_shared_memory_transfer_roundtrip(backend):
+    runs = make_batch(3, 10, seed=9)
+    shipped = ship_runs(runs)
+    try:
+        received = receive_runs(shipped)
+    except Exception:  # pragma: no cover - /dev/shm-less environments
+        pytest.skip("shared memory unavailable")
+    assert_lossless(runs, received)
+    # The header is what crosses the pickled result pipe; it must stay
+    # tiny relative to pickling the run objects themselves.
+    import pickle
+
+    assert header_bytes(shipped) < len(pickle.dumps(runs))
+
+
+def test_alphabet_interns_each_event_once(backend):
+    runs = make_batch(3, 12, seed=4)
+    arena = encode_runs(runs)
+    assert len(set(arena.events)) == len(arena.events)
+    seen = {e for r in runs for p in r.processes for _, e in r.timeline(p)}
+    assert set(arena.events) == seen
+
+
+def test_arena_repr_and_nbytes(backend):
+    arena = encode_runs(make_batch(2, 3, seed=0))
+    assert isinstance(arena, RunArena)
+    assert arena.nbytes > 0

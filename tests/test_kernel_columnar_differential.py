@@ -1,0 +1,216 @@
+"""Three-way differential tests: naive reference vs class kernel vs
+columnar kernel.
+
+PR acceptance pins *bit-identical* answers from all three evaluation
+strategies -- the retained point-scanning reference
+(:mod:`repro.knowledge.reference`), the PR-2 equivalence-class kernel
+(``System(kernel="class")``), and the struct-of-arrays kernel
+(``System(kernel="columnar")``) -- over the primitives (Knows,
+indistinguishability), the E^k ladder, and the C_G fixpoint.  The
+columnar leg runs under both buffer backends (numpy and the stdlib
+``array`` fallback), and once more on runs that made a round trip
+through the shared-memory transfer path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import receive_runs, ship_runs
+from repro.knowledge import Crashed, GroupChecker, ModelChecker, Not
+from repro.knowledge.group import e_iterated
+from repro.knowledge.reference import (
+    naive_common_knowledge_points,
+    naive_indistinguishable_points,
+    naive_known_crashed_set,
+    naive_knows_crashed,
+    naive_max_e_depth,
+)
+from repro.model.run import Point
+from repro.model.synthetic import synthetic_system
+from repro.model.system import System
+
+CASES = [
+    # (n processes, runs, seed, duration)
+    (2, 4, 0, 5),
+    (3, 6, 1, 6),
+    (4, 6, 3, 6),
+]
+
+BACKENDS = ["numpy", "no-numpy"]
+
+
+class Kernels:
+    """One run set, indexed by all three evaluation strategies."""
+
+    def __init__(self, case, backend, monkeypatch):
+        if backend == "no-numpy":
+            monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "0")
+        else:
+            monkeypatch.delenv("REPRO_COLUMNAR_NUMPY", raising=False)
+        n, runs, seed, duration = case
+        base = synthetic_system(n, runs, seed=seed, duration=duration)
+        self.runs = base.runs
+        self.class_system = System(self.runs, kernel="class")
+        self.columnar_system = System(self.runs, kernel="columnar")
+        self.columnar_system.build_index()
+
+    @property
+    def systems(self):
+        return (self.class_system, self.columnar_system)
+
+
+@pytest.fixture(
+    params=[(c, b) for c in CASES for b in BACKENDS],
+    ids=lambda p: f"n{p[0][0]}r{p[0][1]}s{p[0][2]}-{p[1]}",
+)
+def kernels(request, monkeypatch):
+    case, backend = request.param
+    return Kernels(case, backend, monkeypatch)
+
+
+def test_indistinguishable_points_three_way(kernels):
+    for system in kernels.systems:
+        for p in system.processes:
+            for pt in system.points():
+                naive = naive_indistinguishable_points(system, p, pt)
+                assert list(system.indistinguishable_points(p, pt)) == naive
+
+
+def test_knows_crashed_three_way(kernels):
+    cls, col = kernels.systems
+    for p in cls.processes:
+        for pt in cls.points():
+            for q in cls.processes:
+                expected = naive_knows_crashed(cls, p, pt, q)
+                assert cls.knows_crashed(p, pt, q) == expected
+                assert col.knows_crashed(p, pt, q) == expected
+
+
+def test_known_crashed_set_three_way(kernels):
+    cls, col = kernels.systems
+    for p in cls.processes:
+        for pt in cls.points():
+            expected = naive_known_crashed_set(cls, p, pt)
+            assert cls.known_crashed_set(p, pt) == expected
+            assert col.known_crashed_set(p, pt) == expected
+
+
+def _naive_e_level_sets(system, group, victim, depth):
+    """E^k level sets by pure point scanning (no kernel, no bitsets).
+
+    S_0 is the truth set of Crashed(victim); S_{k+1} keeps the points
+    whose every ~_p candidate (for every p in the group) lies in S_k.
+    """
+    points = list(system.points())
+    levels = [
+        {pt for pt in points if pt.run.crashed_by(victim, pt.time)}
+    ]
+    for _ in range(depth):
+        prev = levels[-1]
+        levels.append(
+            {
+                pt
+                for pt in points
+                if all(
+                    all(
+                        cand in prev
+                        for cand in naive_indistinguishable_points(system, p, pt)
+                    )
+                    for p in group
+                )
+            }
+        )
+    return levels
+
+
+def test_e_level_sets_three_way(kernels):
+    cls, col = kernels.systems
+    group = tuple(cls.processes)
+    victim = cls.processes[-1]
+    depth = 3
+    levels = _naive_e_level_sets(cls, group, victim, depth)
+    mc_cls, mc_col = ModelChecker(cls), ModelChecker(col)
+    for k in range(depth + 1):
+        phi_k = e_iterated(group, Crashed(victim), k)
+        for pt in cls.points():
+            expected = pt in levels[k]
+            assert mc_cls.holds(phi_k, pt) == expected, (k, pt.time)
+            assert mc_col.holds(phi_k, pt) == expected, (k, pt.time)
+
+
+def test_common_knowledge_points_three_way(kernels):
+    cls, col = kernels.systems
+    victim = cls.processes[-1]
+    groups = [tuple(cls.processes), tuple(cls.processes[:2])]
+    mc_cls, mc_col = ModelChecker(cls), ModelChecker(col)
+    gc_cls, gc_col = GroupChecker(mc_cls), GroupChecker(mc_col)
+    for phi in (Crashed(victim), Not(Crashed(victim))):
+        for group in groups:
+            expected = naive_common_knowledge_points(mc_cls, group, phi)
+            assert gc_cls.common_knowledge_points(group, phi) == expected
+            assert gc_col.common_knowledge_points(group, phi) == expected
+
+
+def test_max_e_depth_three_way(kernels):
+    cls, col = kernels.systems
+    victim = cls.processes[-1]
+    group = tuple(cls.processes)
+    phi = Crashed(victim)
+    mc_cls, mc_col = ModelChecker(cls), ModelChecker(col)
+    gc_cls, gc_col = GroupChecker(mc_cls), GroupChecker(mc_col)
+    for run in cls.runs[:3]:
+        for m in (0, run.duration // 2, run.duration):
+            pt = Point(run, m)
+            expected = naive_max_e_depth(mc_cls, group, phi, pt, cap=4)
+            assert gc_cls.max_e_depth(group, phi, pt, cap=4) == expected
+            assert gc_col.max_e_depth(group, phi, pt, cap=4) == expected
+
+
+def test_foreign_points_agree(kernels):
+    """A point whose run is outside the system has no candidates, so
+    Knows is vacuously true -- identically in all three strategies."""
+    cls, col = kernels.systems
+    foreign = synthetic_system(len(cls.processes), 2, seed=777).runs
+    for run in foreign:
+        if run in cls.runs:  # pragma: no cover - seed collision guard
+            continue
+        pt = Point(run, 0)
+        for p in cls.processes:
+            for q in cls.processes:
+                expected = naive_knows_crashed(cls, p, pt, q)
+                assert cls.knows_crashed(p, pt, q) == expected
+                assert col.knows_crashed(p, pt, q) == expected
+
+
+def test_transfer_roundtrip_preserves_answers(kernels):
+    """Runs received over the shared-memory path index into a columnar
+    system that answers identically to the original."""
+    try:
+        received = receive_runs(ship_runs(kernels.runs))
+    except Exception:  # pragma: no cover - /dev/shm-less environments
+        pytest.skip("shared memory unavailable")
+    assert received == kernels.runs
+    shipped_system = System(received, kernel="columnar")
+    cls = kernels.class_system
+    victim = cls.processes[-1]
+    group = tuple(cls.processes)
+    for p in cls.processes:
+        for pt in shipped_system.points():
+            for q in cls.processes:
+                assert shipped_system.knows_crashed(p, pt, q) == cls.knows_crashed(
+                    p, Point(cls.runs[cls.run_index(pt.run)], pt.time), q
+                )
+    gc_orig = GroupChecker(ModelChecker(cls))
+    gc_ship = GroupChecker(ModelChecker(shipped_system))
+    phi = Crashed(victim)
+    assert gc_ship.common_knowledge_points(group, phi) == (
+        gc_orig.common_knowledge_points(group, phi)
+    )
+
+
+def test_kernel_choice_is_visible(kernels):
+    assert kernels.class_system.kernel == "class"
+    assert kernels.columnar_system.kernel == "columnar"
+    assert kernels.class_system.columnar_kernel() is None
+    assert kernels.columnar_system.columnar_kernel() is not None

@@ -131,7 +131,8 @@ class TestExplorationIntegrity:
         payload = json.loads(
             (tmp_path / "explore-cafe.json").read_text(encoding="utf-8")
         )
-        assert payload["format"] == "repro-exploration-v2"
+        assert payload["format"] == "repro-exploration-v4"
+        assert "arena" in payload["body"]
         hit = RunCache(tmp_path).get_exploration("cafe")
         assert hit is not None
         runs, stats = hit

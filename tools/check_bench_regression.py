@@ -1,22 +1,33 @@
 #!/usr/bin/env python3
-"""Fail if explorer throughput regressed against the committed baseline.
+"""Fail if a committed benchmark baseline regressed against a fresh run.
 
 Usage::
 
     python tools/check_bench_regression.py COMMITTED.json FRESH.json
 
-Compares ``states_per_s`` at n=4 (effective coverage rate: unreduced
-space states / DPOR wall time) in FRESH against COMMITTED and exits 1
-if it dropped by more than the tolerance (default 15%, override with
-``--tolerance 0.15``).
+The gate dispatches on the ``benchmark`` field of the committed file
+(both files must agree):
 
-Raw wall-clock numbers are machine-bound, so the comparison is
-*machine-normalized*: both files also record the reduction-free
-baseline walk's throughput at n=4 (``baseline_states_per_s``), which
-measures pure executor speed on the recording machine.  The fresh
-machine's speed ratio rescales the committed figure before the 15%
-rule is applied -- a slower CI runner does not trip the gate, but a
-reduction regression (DPOR doing more work per covered state) does.
+``explore-enumeration`` (BENCH_explore.json)
+    Compares ``states_per_s`` at n=4 (effective coverage rate: unreduced
+    space states / DPOR wall time) and exits 1 if it dropped by more
+    than the tolerance (default 15%, ``--tolerance 0.15``).  Raw
+    wall-clock numbers are machine-bound, so the comparison is
+    *machine-normalized*: both files also record the reduction-free
+    baseline walk's throughput at n=4 (``baseline_states_per_s``),
+    which measures pure executor speed on the recording machine.  The
+    fresh machine's speed ratio rescales the committed figure before
+    the 15% rule is applied -- a slower CI runner does not trip the
+    gate, but a reduction regression does.
+
+``epistemic-kernel`` (BENCH_kernel.json)
+    Compares the columnar kernel's speedups over the class kernel at
+    n=20 plus the pool-transfer byte ratio.  Speedup ratios are
+    machine-normalized by construction (class and columnar rounds are
+    interleaved on the same machine), so the 15% rule applies to the
+    ratios directly, on top of the absolute acceptance floors:
+    index build >= 5x, C_G fixpoint >= 3x, transfer header <= 10% of
+    the pickled run batch.
 """
 
 from __future__ import annotations
@@ -26,42 +37,54 @@ import json
 import sys
 from pathlib import Path
 
-KEY = "n=4"
+EXPLORE_KEY = "n=4"
+KERNEL_KEY = "n=20"
+
+#: Absolute acceptance floors for the kernel baseline (issue criteria).
+KERNEL_FLOORS = {
+    "index_speedup_vs_class": 5.0,
+    "ck_speedup_vs_class": 3.0,
+}
+TRANSFER_RATIO_CEILING = 0.10
 
 
-def entry(path: Path) -> dict:
-    payload = json.loads(path.read_text())
+def _load(path: Path) -> dict:
     try:
-        return payload["results"][KEY]
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"{path}: {exc}")
+
+
+def _entry(payload: dict, path: Path, key: str) -> dict:
+    try:
+        return payload["results"][key]
     except KeyError:
-        sys.exit(f"{path}: no results[{KEY!r}] entry")
+        sys.exit(f"{path}: no results[{key!r}] entry")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("committed", type=Path)
-    parser.add_argument("fresh", type=Path)
-    parser.add_argument("--tolerance", type=float, default=0.15)
-    args = parser.parse_args(argv)
+def check_explore(
+    committed: dict, fresh: dict, args: argparse.Namespace
+) -> int:
+    committed_e = _entry(committed, args.committed, EXPLORE_KEY)
+    fresh_e = _entry(fresh, args.fresh, EXPLORE_KEY)
 
-    committed = entry(args.committed)
-    fresh = entry(args.fresh)
-
-    for name, e in (("committed", committed), ("fresh", fresh)):
+    for name, e in (("committed", committed_e), ("fresh", fresh_e)):
         for field in ("states_per_s", "baseline_states_per_s"):
             if not e.get(field):
                 sys.exit(f"{name} entry lacks a nonzero {field!r}")
 
     # How fast is this machine relative to the one that recorded the
     # committed baseline?  The reduction-free walk measures that.
-    machine_scale = fresh["baseline_states_per_s"] / committed["baseline_states_per_s"]
-    expected = committed["states_per_s"] * machine_scale
+    machine_scale = (
+        fresh_e["baseline_states_per_s"] / committed_e["baseline_states_per_s"]
+    )
+    expected = committed_e["states_per_s"] * machine_scale
     floor = expected * (1.0 - args.tolerance)
-    actual = fresh["states_per_s"]
+    actual = fresh_e["states_per_s"]
 
     print(
-        f"explorer throughput at {KEY}: fresh {actual:,.0f} states/s, "
-        f"committed {committed['states_per_s']:,.0f} "
+        f"explorer throughput at {EXPLORE_KEY}: fresh {actual:,.0f} states/s, "
+        f"committed {committed_e['states_per_s']:,.0f} "
         f"(machine scale {machine_scale:.2f}x -> floor {floor:,.0f})"
     )
     if actual < floor:
@@ -73,6 +96,80 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print("ok")
     return 0
+
+
+def check_kernel(committed: dict, fresh: dict, args: argparse.Namespace) -> int:
+    committed_e = _entry(committed, args.committed, KERNEL_KEY)
+    fresh_e = _entry(fresh, args.fresh, KERNEL_KEY)
+    failed = False
+
+    for field, absolute_floor in KERNEL_FLOORS.items():
+        for name, e in (("committed", committed_e), ("fresh", fresh_e)):
+            if not e.get(field):
+                sys.exit(f"{name} entry lacks a nonzero {field!r}")
+        floor = max(absolute_floor, committed_e[field] * (1.0 - args.tolerance))
+        actual = fresh_e[field]
+        print(
+            f"kernel {field} at {KERNEL_KEY}: fresh {actual:.2f}x, "
+            f"committed {committed_e[field]:.2f}x (floor {floor:.2f}x)"
+        )
+        if actual < floor:
+            print(
+                f"REGRESSION: {field} {actual:.2f}x < {floor:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+
+    for name, payload in (("committed", committed), ("fresh", fresh)):
+        transfer = payload.get("transfer")
+        if not transfer or "transfer_ratio" not in transfer:
+            sys.exit(f"{name} payload lacks a transfer.transfer_ratio entry")
+    committed_ratio = committed["transfer"]["transfer_ratio"]
+    fresh_ratio = fresh["transfer"]["transfer_ratio"]
+    # The shm path makes the ratio tiny and byte-exact, so the 15%
+    # band around the committed figure is the binding constraint; the
+    # acceptance ceiling only matters if the committed file itself
+    # sits near it.
+    ceiling = min(
+        TRANSFER_RATIO_CEILING, committed_ratio * (1.0 + args.tolerance)
+    )
+    print(
+        f"kernel transfer ratio: fresh {fresh_ratio:.4f}, "
+        f"committed {committed_ratio:.4f} (ceiling {ceiling:.4f})"
+    )
+    if fresh_ratio > ceiling:
+        print(
+            f"REGRESSION: transfer ratio {fresh_ratio:.4f} > {ceiling:.4f}",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
+        return 1
+    print("ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    args = parser.parse_args(argv)
+
+    committed = _load(args.committed)
+    fresh = _load(args.fresh)
+    kind = committed.get("benchmark")
+    if fresh.get("benchmark") != kind:
+        sys.exit(
+            f"benchmark kind mismatch: committed {kind!r} vs "
+            f"fresh {fresh.get('benchmark')!r}"
+        )
+    if kind == "epistemic-kernel":
+        return check_kernel(committed, fresh, args)
+    if kind == "explore-enumeration":
+        return check_explore(committed, fresh, args)
+    sys.exit(f"unknown benchmark kind {kind!r}")
 
 
 if __name__ == "__main__":
