@@ -26,7 +26,7 @@ no-numpy CI leg pins this).  Arena buffers are immutable outside this
 package -- lint rule INV004 flags writes from any other module.
 """
 
-from repro.columnar.arena import RunArena, decode_runs, encode_runs
+from repro.columnar.arena import RunArena, decode_runs, encode_runs, extend_arena
 from repro.columnar.backend import numpy_or_none
 from repro.columnar.kernel import ColumnarKernel, build_kernel
 from repro.columnar.transfer import ShippedRuns, receive_runs, ship_runs
@@ -35,6 +35,7 @@ __all__ = [
     "RunArena",
     "encode_runs",
     "decode_runs",
+    "extend_arena",
     "ColumnarKernel",
     "build_kernel",
     "ShippedRuns",

@@ -170,6 +170,59 @@ def encode_runs(
     )
 
 
+def extend_arena(arena: RunArena, runs: Iterable[Run]) -> RunArena:
+    """Append ``runs`` to an arena, reusing its interned alphabet.
+
+    The online-ingestion primitive: returns a new arena whose first
+    ``arena.n_runs`` runs are encoded exactly as in the input and whose
+    alphabet extends the input's in first-occurrence order -- column for
+    column what ``encode_runs`` over the concatenated batch would
+    produce, without re-hashing a single event of the existing runs.
+    The input arena (and its cached column lists) is never mutated; an
+    empty batch returns the input arena itself.
+    """
+    batch = tuple(runs)
+    if not batch:
+        return arena
+    procs = arena.processes
+    for run in batch:
+        if run.processes != procs:
+            raise ValueError("all runs in an arena must share a process set")
+
+    durs0, offs0, times0, eids0 = arena.columns_as_lists()
+    durations = list(durs0)
+    offsets = list(offs0)
+    times = list(times0)
+    eids = list(eids0)
+    event_ids: dict[Event, int] = {e: i for i, e in enumerate(arena.events)}
+    intern = event_ids.setdefault
+    lengths: list[int] = []
+    for run in batch:
+        durations.append(run.duration)
+        alphabet_r, times_r, eids_r, lengths_r = run.timeline_columns()
+        remap = [intern(e, len(event_ids)) for e in alphabet_r]
+        times.extend(times_r)
+        eids.extend([remap[x] for x in eids_r])
+        lengths.extend(lengths_r)
+    acc = offsets[-1]
+    for length in lengths:
+        acc += length
+        offsets.append(acc)
+
+    np = numpy_or_none()
+    return RunArena(
+        processes=procs,
+        events=tuple(event_ids),
+        n_runs=arena.n_runs + len(batch),
+        run_durations=make_buffer(durations, np),
+        tl_offsets=make_buffer(offsets, np),
+        tl_times=make_buffer(times, np),
+        tl_events=make_buffer(eids, np),
+        metas=arena.metas + tuple(run.meta for run in batch),
+        column_lists=(durations, offsets, times, eids),
+    )
+
+
 def decode_runs(arena: RunArena) -> tuple[Run, ...]:
     """Rebuild the original run batch from an arena."""
     procs = arena.processes

@@ -36,7 +36,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.columnar.arena import RunArena, encode_runs
+from repro.columnar.arena import RunArena, encode_runs, extend_arena
 from repro.columnar.backend import numpy_or_none
 from repro.knowledge.formulas import (
     And,
@@ -91,20 +91,111 @@ class ColumnarKernel:
             else None
         )
         self._build_class_tables()
+        self._init_lazy_caches()
+        st = system.stats
+        st.arena_builds += 1
+        st.arena_classes += self.total_classes
+        st.arena_bytes += self.arena.nbytes
+
+    @classmethod
+    def refined(cls, base: "ColumnarKernel", system: "System") -> "ColumnarKernel":
+        """Extend ``base``'s index to ``system`` by incremental class refinement.
+
+        ``system.runs`` must start with ``base.system.runs``; the suffix
+        is the freshly ingested batch.  The appended runs are encoded
+        into an extended arena (:func:`extend_arena`), walked through
+        the trie, and the per-process class tables are re-derived from
+        the extended segments -- the shared-prefix runs are never
+        re-encoded, their events never re-hashed, their histories never
+        re-walked.
+
+        Bit-identity contract: the trie assigns one node per distinct
+        history regardless of insertion order, and class ids are
+        assigned in per-process first-occurrence order over the run
+        sequence -- the same order a from-scratch ``build_kernel(system)``
+        uses -- so every derived table (point->class rows, CSR members,
+        sizes, known masks) and therefore every query answer is
+        bit-identical to a full rebuild over the union.
+
+        Trie sharing: when the batch introduces no new event types the
+        base kernel's trie dict is extended in place -- the extra nodes
+        are invisible to the base kernel, whose class tables simply do
+        not mention them.  When the alphabet grows, the key stride
+        (``node * stride + event_id``) changes, so the trie is re-keyed
+        into a fresh dict (node ids preserved) and the base kernel's
+        dict is left untouched.
+        """
+        n_old = len(base.system.runs)
+        runs = system.runs
+        if runs[:n_old] != base.system.runs:
+            raise ValueError("refined(): system.runs must extend base.system.runs")
+        if system.processes != base.system.processes:
+            raise ValueError("refined(): process tuples differ")
+        added = runs[n_old:]
+        self = cls.__new__(cls)
+        self.system = system
+        self.np = numpy_or_none()
+        self.arena = extend_arena(base.arena, added)
+        self.n = base.n
+        self.point_total = system.point_count
+        crash_rows = list(base.crash_rows)
+        for run in added:
+            crash_rows.extend(run.crash_masks())
+        self.crash_rows = crash_rows
+        np = self.np
+        self.crash_mask_rows = (
+            np.asarray(crash_rows, dtype=np.int64)
+            if np is not None and self.n <= _MASK_LANE_BITS
+            else None
+        )
+        old_stride = base._trie_stride
+        new_stride = len(self.arena.events) + 1
+        if new_stride == old_stride:
+            self._trie = base._trie
+        else:
+            self._trie = {
+                (key // old_stride) * new_stride + key % old_stride: node
+                for key, node in base._trie.items()
+            }
+        self._trie_stride = new_stride
+        self._event_id_table = None
+        # Copy-on-extend the per-process segment state, then walk only
+        # the appended runs; class numbering continues where the base
+        # kernel's first-occurrence order left off.
+        self._seg_nodes = [list(seg) for seg in base._seg_nodes]
+        self._seg_counts = [list(seg) for seg in base._seg_counts]
+        self._node_to_cid = [dict(table) for table in base._node_to_cid]
+        self._seg_cids = [list(seg) for seg in base._seg_cids]
+        new_nodes, new_counts = self._history_rows(first_run=base.arena.n_runs)
+        for j in range(self.n):
+            self._seg_nodes[j].extend(new_nodes[j])
+            self._seg_counts[j].extend(new_counts[j])
+            table = self._node_to_cid[j]
+            setdefault = table.setdefault
+            self._seg_cids[j].extend(
+                setdefault(nd, len(table)) for nd in new_nodes[j]
+            )
+        self._derive_tables()
+        self._init_lazy_caches()
+        st = system.stats
+        st.arena_refinements += 1
+        st.arena_classes += self.total_classes
+        st.arena_bytes += self.arena.nbytes
+        return self
+
+    def _init_lazy_caches(self) -> None:
         # Lazy per-class caches serving the System-level API.
         self._known_masks_cache: list[int] | None = None
         self._points_cache: dict[int, list[Point]] = {}
         self._known_set_cache: dict[int, frozenset[ProcessId]] = {}
         self._count_cache: dict[tuple[int, int], int] = {}
         self._class_bits_int: list[int] | None = None
-        st = system.stats
-        st.arena_builds += 1
-        st.arena_classes += self.total_classes
-        st.arena_bytes += self.arena.nbytes
 
     # -- index construction --------------------------------------------------
 
-    def _history_rows(self) -> tuple[list[list[int]], list[list[int]]]:
+    def _history_rows(
+        self, first_run: int = 0
+    ) -> tuple[list[list[int]], list[list[int]]]:
         """Hash-cons every point's local history into trie node ids.
 
         Returns per-process ``(nodes, counts)`` run-length segments: for
@@ -115,6 +206,11 @@ class ColumnarKernel:
         The walk runs entirely over the arena's int columns -- event
         identity was already resolved to alphabet ids by ``encode_runs``,
         so no event object is hashed again here.
+
+        ``first_run`` restricts the walk to runs from that index on (the
+        incremental-refinement path); node ids for fresh histories
+        continue from ``len(trie) + 1``, which is always the next free
+        id because every insertion adds exactly one trie entry.
         """
         arena = self.arena
         n = self.n
@@ -125,7 +221,7 @@ class ColumnarKernel:
         stride = self._trie_stride
         trie = self._trie
         trie_get = trie.get
-        next_node = 1
+        next_node = len(trie) + 1
         hits = misses = 0
         seg_nodes: list[list[int]] = []
         seg_counts: list[list[int]] = []
@@ -135,7 +231,7 @@ class ColumnarKernel:
             counts: list[int] = []
             nodes_append = nodes.append
             counts_append = counts.append
-            for i in range(n_runs):
+            for i in range(first_run, n_runs):
                 dur = durs[i]
                 node = 0
                 prev = 0
@@ -170,8 +266,6 @@ class ColumnarKernel:
         return seg_nodes, seg_counts
 
     def _build_class_tables(self) -> None:
-        np = self.np
-        P = self.point_total
         self._trie: dict[int, int] = {}
         self._trie_stride = len(self.arena.events) + 1
         # event object -> alphabet id, built lazily: only foreign-history
@@ -180,6 +274,33 @@ class ColumnarKernel:
         seg_nodes, seg_counts = self._history_rows()
         self._seg_nodes = seg_nodes
         self._seg_counts = seg_counts
+        # Classes are numbered in first-occurrence order (the order
+        # System.classes uses).  The per-process node -> local class id
+        # tables persist past the build so :meth:`refined` can continue
+        # the numbering exactly where this build left off.
+        self._node_to_cid: list[dict[int, int]] = []
+        self._seg_cids: list[list[int]] = []
+        for j in range(self.n):
+            table: dict[int, int] = {}
+            setdefault = table.setdefault
+            self._seg_cids.append(
+                [setdefault(nd, len(table)) for nd in seg_nodes[j]]
+            )
+            self._node_to_cid.append(table)
+        self._derive_tables()
+
+    def _derive_tables(self) -> None:
+        """Expand the segment state into the dense and CSR class tables.
+
+        Pure function of ``_seg_cids`` / ``_seg_counts`` /
+        ``_node_to_cid``: the fresh build and the incremental refinement
+        both land here, which is what makes refined tables bit-identical
+        to rebuilt ones.  Segments are few, so the numbering runs over
+        segments in Python and only the per-point expansion is
+        vectorized.
+        """
+        np = self.np
+        P = self.point_total
         self.class_base: list[int] = []
         #: per process: trie node id -> global class id (built on demand:
         #: only foreign-history walks consult it)
@@ -190,18 +311,9 @@ class ColumnarKernel:
             member_parts = []
             size_parts = []
             for j in range(self.n):
-                # Classes are numbered in first-occurrence order (the
-                # order System.classes uses).  Segments are few, so the
-                # numbering runs over segments in Python and only the
-                # per-point expansion is vectorized.
-                node_to_cid: dict[int, int] = {}
-                setdefault = node_to_cid.setdefault
-                seg_cids = [
-                    setdefault(nd, len(node_to_cid)) for nd in seg_nodes[j]
-                ]
-                cids = np.asarray(seg_cids, dtype=np.int64)
-                counts = np.asarray(seg_counts[j], dtype=np.int64)
-                n_cls = len(node_to_cid)
+                cids = np.asarray(self._seg_cids[j], dtype=np.int64)
+                counts = np.asarray(self._seg_counts[j], dtype=np.int64)
+                n_cls = len(self._node_to_cid[j])
                 local = np.repeat(cids, counts)
                 pc_rows[j] = local + total
                 sizes_j = np.zeros(n_cls, dtype=np.int64)
@@ -225,15 +337,11 @@ class ColumnarKernel:
             sizes_l: list[int] = []
             offsets_l: list[int] = [0]
             for j in range(self.n):
-                node_to_cid: dict[int, int] = {}
-                members: list[list[int]] = []
+                n_cls = len(self._node_to_cid[j])
+                members: list[list[int]] = [[] for _ in range(n_cls)]
                 local_row: list[int] = []
                 pid = 0
-                for nd, cnt in zip(seg_nodes[j], seg_counts[j]):
-                    cid = node_to_cid.get(nd)
-                    if cid is None:
-                        cid = node_to_cid[nd] = len(members)
-                        members.append([])
+                for cid, cnt in zip(self._seg_cids[j], self._seg_counts[j]):
                     bucket = members[cid]
                     gcid = cid + total
                     for _ in range(cnt):
@@ -246,7 +354,7 @@ class ColumnarKernel:
                     sizes_l.append(len(bucket))
                     offsets_l.append(len(members_flat))
                 self.class_base.append(total)
-                total += len(members)
+                total += n_cls
             self.point_class_rows = pc_rows_l
             self.class_points_csr = members_flat
             self.class_sizes = sizes_l
@@ -313,13 +421,10 @@ class ColumnarKernel:
         """Trie node id -> global class id for process index ``j``."""
         table = self._node_class[j]
         if table is None:
-            row = self.point_class_rows[j]
-            table = {}
-            pid = 0
-            for nd, cnt in zip(self._seg_nodes[j], self._seg_counts[j]):
-                if nd not in table:
-                    table[nd] = int(row[pid])
-                pid += cnt
+            base = self.class_base[j]
+            table = {
+                nd: cid + base for nd, cid in self._node_to_cid[j].items()
+            }
             self._node_class[j] = table
         return table
 

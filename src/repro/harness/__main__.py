@@ -6,6 +6,9 @@ Usage::
     python -m repro.harness explore [--n N] [--t T] [--horizon T] [...]
     python -m repro.harness chaos
     python -m repro.harness lint [PATHS...] [--format json] [--select RULE,...]
+    python -m repro.harness serve [--host H] [--port P] [--cache DIR]
+    python -m repro.harness bench-serve [--out PATH]
+    python -m repro.harness serve-smoke
 
 With no ids, every registered experiment runs.  ``--backend process``
 executes the ensemble sweeps inside each experiment on a worker-process
@@ -27,6 +30,12 @@ over the survivors.
 The ``lint`` subcommand runs the determinism / pool-safety /
 model-invariant static analyzer (:mod:`repro.lint`) over ``src/repro``
 (or the given paths) and exits 1 on any error-severity finding.
+
+The ``serve`` family drives the online epistemic query service
+(:mod:`repro.serve`): ``serve`` runs the asyncio JSON server, ``bench-
+serve`` records BENCH_serve.json, and ``serve-smoke`` is the CI
+end-to-end check (boot, mixed query batch, one online ingest pinned
+against a fresh rebuild, clean shutdown).
 """
 
 from __future__ import annotations
@@ -277,6 +286,18 @@ def main(argv: list[str]) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(args[1:])
+    if args and args[0] == "serve":
+        from repro.harness.servecli import serve_main
+
+        return serve_main(args[1:])
+    if args and args[0] == "bench-serve":
+        from repro.harness.servecli import bench_serve_main
+
+        return bench_serve_main(args[1:])
+    if args and args[0] == "serve-smoke":
+        from repro.harness.servecli import serve_smoke_main
+
+        return serve_smoke_main(args[1:])
     if "--list" in args:
         print(registry.describe())
         return 0

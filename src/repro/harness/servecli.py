@@ -1,0 +1,316 @@
+"""Harness subcommands for the epistemic query service.
+
+* ``python -m repro.harness serve``        -- run the server (Ctrl-C stops)
+* ``python -m repro.harness bench-serve``  -- the BENCH_serve.json benchmark
+* ``python -m repro.harness serve-smoke``  -- CI smoke: boot a server over a
+  real cache entry, drive a mixed query batch plus one online ingest, and
+  assert the answers (including post-ingest bit-equality with a fresh
+  rebuild) and a clean shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import warnings
+from typing import Any
+
+_SERVE_USAGE = """\
+usage: python -m repro.harness serve [options]
+
+  --host HOST        bind address                       (default 127.0.0.1)
+  --port PORT        bind port; 0 = ephemeral           (default 7399)
+  --cache DIR        RunCache directory exposed to 'load'
+  --preload DIGEST   load a cached exploration at boot (repeatable;
+                     session name = the digest)
+"""
+
+_BENCH_USAGE = """\
+usage: python -m repro.harness bench-serve [--out PATH]
+
+Writes the serve latency/throughput payload (default BENCH_serve.json).
+Set REPRO_BENCH_SMOKE=1 for the shrunk CI variant.
+"""
+
+
+def _parse(argv: list[str], opts: dict[str, str], usage: str) -> dict[str, list[str]] | None:
+    """Tiny option parser in the harness house style; None = exit 2."""
+    repeated: dict[str, list[str]] = {}
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg in ("-h", "--help"):
+            print(usage)
+            return None
+        if arg in opts or arg == "--preload":
+            if not args:
+                print(f"{arg} needs a value\n{usage}")
+                return None
+            value = args.pop(0)
+            if arg == "--preload":
+                repeated.setdefault(arg, []).append(value)
+            else:
+                opts[arg] = value
+        else:
+            print(f"unknown option {arg!r}\n{usage}")
+            return None
+    return repeated
+
+
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro.harness serve``: run the query service."""
+    from repro.runtime.cache import RunCache
+    from repro.serve.server import serve_forever
+    from repro.serve.state import ServeState
+
+    opts = {"--host": "127.0.0.1", "--port": "7399", "--cache": ""}
+    repeated = _parse(argv, opts, _SERVE_USAGE)
+    if repeated is None:
+        return 2
+    cache = RunCache(opts["--cache"]) if opts["--cache"] else None
+    state = ServeState(cache)
+    for digest in repeated.get("--preload", []):
+        state.load_digest(digest, digest)
+        print(f"preloaded {digest} ({len(state.sessions[digest].system.runs)} runs)")
+    try:
+        asyncio.run(
+            serve_forever(state, host=opts["--host"], port=int(opts["--port"]))
+        )
+    except KeyboardInterrupt:
+        print("\nrepro.serve stopped")
+    return 0
+
+
+def bench_serve_main(argv: list[str]) -> int:
+    """``python -m repro.harness bench-serve``: write BENCH_serve.json."""
+    from repro.serve.bench import run_serve_bench
+
+    opts = {"--out": "BENCH_serve.json"}
+    if _parse(argv, opts, _BENCH_USAGE) is None:
+        return 2
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    payload = run_serve_bench(smoke=smoke)
+    for key, entry in payload["results"].items():
+        print(
+            f"serve {key}: p50 {entry['p50_ms']:.2f} ms, "
+            f"p95 {entry['p95_ms']:.2f} ms, {entry['qps']:,.0f} q/s"
+        )
+    ingest = payload["ingest"]
+    print(
+        f"serve ingest: p50 {ingest['p50_ms']:.2f} ms, "
+        f"p95 {ingest['p95_ms']:.2f} ms per {ingest['runs_per_batch']}-run batch"
+    )
+    print(f"calibration: {payload['calibration']['direct_qps']:,.0f} q/s in-process")
+    with open(opts["--out"], "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {opts['--out']}")
+    return 0
+
+
+def serve_smoke_main(argv: list[str]) -> int:
+    """``python -m repro.harness serve-smoke``: the CI end-to-end check."""
+    import random
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.protocols import NUDCProcess
+    from repro.explore import ExploreSpec, explore
+    from repro.knowledge import Crashed, GroupChecker, Knows, ModelChecker
+    from repro.model.context import make_process_ids
+    from repro.model.run import Point
+    from repro.model.synthetic import synthetic_run, synthetic_system
+    from repro.model.system import System
+    from repro.runtime.cache import RunCache
+    from repro.serve.client import (
+        ServeClient,
+        ck_query,
+        e_query,
+        knows_query,
+    )
+    from repro.serve.server import EpistemicServer
+    from repro.serve.state import ServeState
+    from repro.sim.process import uniform_protocol
+    from repro.workloads.generators import single_action
+
+    if argv:
+        print("usage: python -m repro.harness serve-smoke   (no options)")
+        return 0 if argv[0] in ("-h", "--help") else 2
+
+    checks: list[tuple[str, bool]] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+
+        # A real exploration entry for the 'load' path.
+        spec = ExploreSpec(
+            processes=make_process_ids(3),
+            protocol=uniform_protocol(NUDCProcess),
+            horizon=3,
+            max_failures=1,
+            crash_ticks=(1,),
+            workload=single_action("p1", tick=1),
+        )
+        report = explore(spec, cache=RunCache(cache_dir))
+        digest = spec.digest()
+        assert digest is not None
+        checks.append(
+            ("exploration cached for load", len(report.runs) > 0)
+        )
+
+        # And a deliberately corrupt one for graceful degradation.
+        (cache_dir / "explore-deadbeef.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+
+        state = ServeState(RunCache(cache_dir))
+        server = EpistemicServer(state)
+        bound: dict[str, Any] = {}
+        started = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            try:
+                asyncio.set_event_loop(loop)
+                bound["addr"] = loop.run_until_complete(server.start())
+                started.set()
+                loop.run_until_complete(server.run())
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=_run, daemon=True)
+        thread.start()
+        started.wait(timeout=30)
+        host, port = bound["addr"]
+
+        with ServeClient.connect(host, port) as client:
+            checks.append(("server answers ping", client.ping()))
+            info = client.info()
+            checks.append(
+                ("cache digest discoverable", digest in info["cache_digests"])
+            )
+
+            loaded = client.load("explored", digest)
+            checks.append(
+                (
+                    "loaded system is complete by construction",
+                    loaded["complete"] is True and loaded["runs"] == len(report.runs),
+                )
+            )
+
+            group = list(loaded["processes"])
+            mixed = client.query_response(
+                "explored",
+                [
+                    knows_query(group[0], Crashed(group[1]), 0, 2),
+                    e_query(group, 2, Crashed(group[1]), 0, 2),
+                    ck_query(group, Crashed(group[1]), 0, 2),
+                ],
+            )
+            checks.append(
+                (
+                    "mixed Knows/E^k/C_G batch all answered",
+                    all(r["ok"] for r in mixed["results"]),
+                )
+            )
+            checks.append(
+                ("complete flag rides the envelope", mixed["complete"] is True)
+            )
+
+            # A sampled inline system must surface complete: false.
+            sampled = synthetic_system(3, 8, seed=11, duration=5)
+            client.create("sampled", sampled.runs, complete=False)
+            pre = client.query_response(
+                "sampled", [knows_query("p1", Crashed("p2"), 0, 3)]
+            )
+            checks.append(
+                (
+                    "sampled system reports complete: false",
+                    pre["complete"] is False and pre["results"][0]["ok"],
+                )
+            )
+
+            # Online ingest, then differential vs a from-scratch rebuild.
+            rng = random.Random(23)
+            extra = [
+                synthetic_run(sampled.processes, rng, duration=5)
+                for _ in range(5)
+            ]
+            ingested = client.ingest("sampled", extra)
+            checks.append(
+                (
+                    "ingest bumps the generation",
+                    ingested["generation"] == 1 and ingested["added"] > 0,
+                )
+            )
+            seen = set(sampled.runs)
+            fresh = []
+            for r in extra:
+                if r not in seen:
+                    seen.add(r)
+                    fresh.append(r)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                rebuilt = System(sampled.runs + tuple(fresh))
+                checker = ModelChecker(rebuilt)
+                agree = True
+                for i, run in enumerate(rebuilt.runs):
+                    for m in range(0, run.duration + 1, 2):
+                        for p in rebuilt.processes:
+                            want = checker.holds(
+                                Knows(p, Crashed("p2")), Point(run, m)
+                            )
+                            got = client.query(
+                                "sampled",
+                                [knows_query(p, Crashed("p2"), i, m)],
+                            )[0]["result"]
+                            agree = agree and (want == got)
+                grp = GroupChecker(checker)
+                want_ck = sorted(
+                    grp.common_knowledge_points(
+                        list(rebuilt.processes), Crashed("p2")
+                    )
+                )
+                got_ck = [
+                    tuple(p)
+                    for p in client.query(
+                        "sampled",
+                        [
+                            {
+                                "kind": "ck_points",
+                                "group": list(rebuilt.processes),
+                                "formula": {"op": "crashed", "process": "p2"},
+                            }
+                        ],
+                    )[0]["result"]
+                ]
+            checks.append(
+                ("post-ingest Knows answers match a fresh rebuild", agree)
+            )
+            checks.append(
+                ("post-ingest C_G point set matches a fresh rebuild", want_ck == got_ck)
+            )
+
+            corrupt = client.request_raw(
+                {"op": "load", "system": "bad", "digest": "deadbeef"}
+            )
+            checks.append(
+                (
+                    "corrupt cache entry degrades to corrupt-entry",
+                    corrupt.get("ok") is False
+                    and corrupt.get("error") == "corrupt-entry",
+                )
+            )
+
+            client.shutdown()
+        thread.join(timeout=30)
+        checks.append(("clean shutdown", not thread.is_alive()))
+
+    ok = True
+    for label, passed in checks:
+        print(f"    [{'ok' if passed else 'FAIL'}] {label}")
+        ok = ok and passed
+    print("serve smoke " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1

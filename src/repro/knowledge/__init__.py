@@ -43,6 +43,11 @@ from repro.knowledge.analysis import (
 )
 from repro.knowledge.chains import chain_closure, has_message_chain
 from repro.knowledge.group import GroupChecker, e_iterated, everyone_knows
+from repro.knowledge.wire import (
+    formula_from_jsonable,
+    formula_to_jsonable,
+    formula_wire_key,
+)
 
 __all__ = [
     "And",
@@ -67,6 +72,9 @@ __all__ = [
     "chain_closure",
     "e_iterated",
     "everyone_knows",
+    "formula_from_jsonable",
+    "formula_to_jsonable",
+    "formula_wire_key",
     "has_message_chain",
     "insensitive_to_failure",
     "is_local",

@@ -1,0 +1,212 @@
+"""Formula AST <-> JSON wire codec.
+
+The query service (:mod:`repro.serve`) receives formulas over the wire;
+this module gives every *data-defined* AST node a stable JSON form:
+
+    {"op": "knows", "process": "p1", "child": {"op": "crashed", ...}}
+
+The codec is exact where it applies: ``formula_from_jsonable`` of
+``formula_to_jsonable`` output yields a formula with identical kernel
+verdicts at every point (actions and message payloads travel through
+the model's tagged value codec, so tuples stay tuples and frozensets
+stay frozensets).  :class:`~repro.knowledge.formulas.Atom` wraps an
+opaque Python callable and therefore has *no* wire form -- encoding one
+raises ``TypeError``, and servers advertise only the data-defined
+fragment.
+
+Wire ops: ``const``, ``inited``, ``did``, ``crashed``, ``sent``,
+``recv``, ``not``, ``and``, ``or``, ``implies``, ``box``, ``diamond``,
+``knows``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.knowledge.formulas import (
+    And,
+    Atom,
+    Box,
+    Crashed,
+    Diamond,
+    Did,
+    Formula,
+    Implies,
+    Inited,
+    Knows,
+    Not,
+    Or,
+    Received,
+    Sent,
+    _Const,
+)
+from repro.model.events import Message
+from repro.model.serialize import decode_value, encode_value
+
+
+def _encode_message(message: Message | None) -> dict[str, Any] | None:
+    if message is None:
+        return None
+    return {"kind": message.kind, "payload": encode_value(message.payload)}
+
+
+def formula_to_jsonable(formula: Formula) -> dict[str, Any]:
+    """Encode a data-defined formula as a JSON-safe dict.
+
+    Raises ``TypeError`` for :class:`Atom` (opaque callable, no wire
+    form) and for unknown node types.
+    """
+    if isinstance(formula, _Const):
+        return {"op": "const", "value": formula.value}
+    if isinstance(formula, Inited):
+        return {
+            "op": "inited",
+            "process": formula.process,
+            "action": encode_value(formula.action),
+        }
+    if isinstance(formula, Did):
+        return {
+            "op": "did",
+            "process": formula.process,
+            "action": encode_value(formula.action),
+        }
+    if isinstance(formula, Crashed):
+        return {"op": "crashed", "process": formula.process}
+    if isinstance(formula, Sent):
+        return {
+            "op": "sent",
+            "sender": formula.sender,
+            "receiver": formula.receiver,
+            "message": _encode_message(formula.message),
+        }
+    if isinstance(formula, Received):
+        return {
+            "op": "recv",
+            "receiver": formula.receiver,
+            "sender": formula.sender,
+            "message": _encode_message(formula.message),
+        }
+    if isinstance(formula, Not):
+        return {"op": "not", "child": formula_to_jsonable(formula.child)}
+    if isinstance(formula, And):
+        return {
+            "op": "and",
+            "parts": [formula_to_jsonable(p) for p in formula.parts],
+        }
+    if isinstance(formula, Or):
+        return {
+            "op": "or",
+            "parts": [formula_to_jsonable(p) for p in formula.parts],
+        }
+    if isinstance(formula, Implies):
+        return {
+            "op": "implies",
+            "antecedent": formula_to_jsonable(formula.antecedent),
+            "consequent": formula_to_jsonable(formula.consequent),
+        }
+    if isinstance(formula, Box):
+        return {"op": "box", "child": formula_to_jsonable(formula.child)}
+    if isinstance(formula, Diamond):
+        return {"op": "diamond", "child": formula_to_jsonable(formula.child)}
+    if isinstance(formula, Knows):
+        return {
+            "op": "knows",
+            "process": formula.process,
+            "child": formula_to_jsonable(formula.child),
+        }
+    if isinstance(formula, Atom):
+        raise TypeError(
+            "Atom formulas wrap opaque Python callables and have no wire "
+            "form; express the predicate in the data-defined fragment"
+        )
+    raise TypeError(f"cannot serialize formula node {type(formula).__name__}")
+
+
+def _require(data: dict[str, Any], key: str, op: str) -> Any:
+    if key not in data:
+        raise ValueError(f"formula op {op!r} is missing field {key!r}")
+    return data[key]
+
+
+def _process(data: dict[str, Any], key: str, op: str) -> str:
+    value = _require(data, key, op)
+    if not isinstance(value, str):
+        raise ValueError(f"formula op {op!r}: field {key!r} must be a string")
+    return value
+
+
+def _decode_message(data: Any, op: str) -> Message | None:
+    if data is None:
+        return None
+    if not isinstance(data, dict) or not isinstance(data.get("kind"), str):
+        raise ValueError(f"formula op {op!r}: malformed message")
+    return Message(data["kind"], decode_value(data.get("payload")))
+
+
+def formula_from_jsonable(data: Any) -> Formula:
+    """Inverse of :func:`formula_to_jsonable`; raises ``ValueError`` on
+    malformed input."""
+    if not isinstance(data, dict):
+        raise ValueError("formula node must be a JSON object")
+    op = data.get("op")
+    if op == "const":
+        return _Const(bool(_require(data, "value", op)))
+    if op == "inited":
+        return Inited(
+            _process(data, "process", op),
+            decode_value(_require(data, "action", op)),
+        )
+    if op == "did":
+        return Did(
+            _process(data, "process", op),
+            decode_value(_require(data, "action", op)),
+        )
+    if op == "crashed":
+        return Crashed(_process(data, "process", op))
+    if op == "sent":
+        return Sent(
+            _process(data, "sender", op),
+            _process(data, "receiver", op),
+            _decode_message(data.get("message"), op),
+        )
+    if op == "recv":
+        return Received(
+            _process(data, "receiver", op),
+            _process(data, "sender", op),
+            _decode_message(data.get("message"), op),
+        )
+    if op == "not":
+        return Not(formula_from_jsonable(_require(data, "child", op)))
+    if op in ("and", "or"):
+        parts = _require(data, "parts", op)
+        if not isinstance(parts, list):
+            raise ValueError(f"formula op {op!r}: 'parts' must be a list")
+        decoded = [formula_from_jsonable(p) for p in parts]
+        return And(*decoded) if op == "and" else Or(*decoded)
+    if op == "implies":
+        return Implies(
+            formula_from_jsonable(_require(data, "antecedent", op)),
+            formula_from_jsonable(_require(data, "consequent", op)),
+        )
+    if op == "box":
+        return Box(formula_from_jsonable(_require(data, "child", op)))
+    if op == "diamond":
+        return Diamond(formula_from_jsonable(_require(data, "child", op)))
+    if op == "knows":
+        return Knows(
+            _process(data, "process", op),
+            formula_from_jsonable(_require(data, "child", op)),
+        )
+    raise ValueError(f"unknown formula op {op!r}")
+
+
+def formula_wire_key(data: Any) -> str:
+    """Canonical string form of a wire formula (cache/memoization key).
+
+    Two wire payloads describing the same formula tree map to the same
+    key regardless of JSON key order, so servers can intern decoded
+    Formula objects and keep the model checker's per-Formula memo
+    tables hot across requests.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))

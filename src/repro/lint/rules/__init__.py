@@ -1,5 +1,5 @@
 """Rule implementations; importing this package registers every rule."""
 
-from . import determinism, invariants, meta, poolsafety
+from . import asyncrules, determinism, invariants, meta, poolsafety
 
-__all__ = ["determinism", "invariants", "meta", "poolsafety"]
+__all__ = ["asyncrules", "determinism", "invariants", "meta", "poolsafety"]

@@ -1,0 +1,151 @@
+"""Async-safety rules (ASY001).
+
+The query service (:mod:`repro.serve`) runs every connected client on
+one event loop: a single blocking call inside a coroutine stalls *all*
+of them at once, which no test exercising one connection will notice.
+ASY001 pins the invariant statically -- coroutines in the serve package
+must off-load blocking work (``loop.run_in_executor``) or use the
+asyncio-native equivalent (``asyncio.sleep``, stream APIs).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleUnderLint
+from ..findings import LintFinding
+from ..registry import Rule, register
+
+#: packages whose coroutines must never block the event loop
+ASYNC_PACKAGES: tuple[str, ...] = ("repro.serve",)
+
+#: module roots tracked for alias-aware call resolution
+_TRACKED_ROOTS = frozenset({"time", "subprocess", "requests", "urllib"})
+
+#: dotted origins that block the calling thread
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+    }
+)
+
+#: method names that do synchronous file I/O (the pathlib idiom)
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local-name -> dotted-origin map for the tracked modules."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _TRACKED_ROOTS:
+                    aliases[alias.asname or root] = (
+                        alias.name if alias.asname else root
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in _TRACKED_ROOTS:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    return aliases
+
+
+def _resolve(aliases: dict[str, str], node: ast.expr) -> str | None:
+    """Dotted origin of an attribute chain, via the import alias map."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    base = aliases.get(cur.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _coroutine_calls(fn: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically on this coroutine's own stack.
+
+    Nested ``def``/``async def``/``lambda`` bodies are separate scopes
+    -- a sync thunk handed to ``run_in_executor`` *should* block, and a
+    nested coroutine gets its own sweep from the outer walk.
+    """
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class BlockingCallInCoroutineRule(Rule):
+    """ASY001: a blocking call inside an event-loop coroutine freezes
+    every connected client for its duration.  ``time.sleep``, the
+    ``subprocess`` synchronous API, builtin ``open`` and the pathlib
+    ``read_text``/``write_text`` family must not run on the loop."""
+
+    id = "ASY001"
+    summary = "blocking call inside an event-loop coroutine"
+    hint = (
+        "use the asyncio-native API (asyncio.sleep, stream readers) or "
+        "off-load the blocking work with loop.run_in_executor(None, fn, ...)"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        if not mod.in_packages(ASYNC_PACKAGES):
+            return
+        aliases = _import_aliases(mod.tree)
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _coroutine_calls(node):
+                func = call.func
+                if isinstance(func, ast.Name) and func.id == "open":
+                    yield self.finding(
+                        mod,
+                        call.lineno,
+                        call.col_offset,
+                        f"builtin open() inside coroutine {node.name!r} "
+                        f"does synchronous file I/O on the event loop",
+                    )
+                    continue
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _BLOCKING_METHODS
+                    and _resolve(aliases, func) is None
+                ):
+                    yield self.finding(
+                        mod,
+                        call.lineno,
+                        call.col_offset,
+                        f".{func.attr}() inside coroutine {node.name!r} "
+                        f"does synchronous file I/O on the event loop",
+                    )
+                    continue
+                origin = _resolve(aliases, func)
+                if origin in _BLOCKING_CALLS:
+                    yield self.finding(
+                        mod,
+                        call.lineno,
+                        call.col_offset,
+                        f"blocking call {origin}() inside coroutine "
+                        f"{node.name!r} stalls every connected client",
+                    )

@@ -282,6 +282,35 @@ class RunCache:
                 entry, self._explore_path(digest)
             )
 
+    def exploration_digests(self) -> tuple[str, ...]:
+        """Digests of every exploration entry visible to this cache.
+
+        The union of in-memory entries and on-disk ``explore-*.json``
+        files, sorted; presence does not imply integrity -- a listed
+        entry can still quarantine on read.  This is the discovery
+        surface of the query service (:mod:`repro.serve`).
+        """
+        digests = set(self._explorations)
+        if self.directory is not None:
+            for path in sorted(self.directory.glob("explore-*.json")):
+                name = path.stem
+                digests.add(name[len("explore-"):])
+        return tuple(sorted(digests))
+
+    def quarantine_reason(self, digest: str) -> str | None:
+        """Why the entry for ``digest`` was quarantined, or None.
+
+        Lets callers that just observed a miss distinguish "never
+        computed" from "present but corrupt" -- the query service
+        degrades gracefully by reporting the recorded reason instead of
+        a bare not-found.
+        """
+        wanted = {digest, f"explore-{digest}"}
+        for recorded, reason in reversed(self.quarantined):
+            if recorded in wanted:
+                return reason
+        return None
+
     def stats(self) -> dict[str, int]:
         """Counter snapshot, including disk entry sizes in bytes."""
         return {

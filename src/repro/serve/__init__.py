@@ -1,0 +1,49 @@
+"""repro.serve: the online epistemic query service.
+
+Everything the repo computes -- explorations, class indexes, knowledge
+verdicts -- is a pure function of specs, which makes it *servable*: a
+long-running process can hold systems hot (arena + trie + class tables
+resident) and answer Knows / E^k / C_G / formula queries over a socket
+in microseconds instead of re-running a harness per question.
+
+* :mod:`repro.serve.protocol` -- newline-delimited JSON wire format,
+  error codes, size limits;
+* :mod:`repro.serve.state`    -- :class:`SystemSession` (one served
+  system + checkers + formula intern table) and :class:`ServeState`
+  (the session registry and RunCache binding);
+* :mod:`repro.serve.server`   -- :class:`EpistemicServer`, the stdlib
+  asyncio TCP layer (no new dependencies);
+* :mod:`repro.serve.client`   -- a small synchronous client for tests,
+  benchmarks, and scripted sessions;
+* :mod:`repro.serve.bench`    -- the BENCH_serve.json latency benchmark.
+
+Online ingestion is the headline: ``ingest`` streams new runs into a
+live system through :meth:`System.extend`, which refines the columnar
+kernel's history trie and class tables incrementally -- answers stay
+bit-identical to a from-scratch rebuild (pinned by the differential
+tests) without paying for one.
+
+Coroutines in this package must never block the event loop: lint rule
+ASY001 statically flags ``time.sleep``/sync file I/O/``subprocess``
+calls inside ``async def`` here.
+
+Start a server with ``python -m repro.harness serve``; see the README
+quickstart for a worked client session.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError, runs_to_arena_payload
+from repro.serve.protocol import MAX_MESSAGE_BYTES, WireError
+from repro.serve.server import EpistemicServer, serve_forever
+from repro.serve.state import ServeState, SystemSession
+
+__all__ = [
+    "EpistemicServer",
+    "MAX_MESSAGE_BYTES",
+    "ServeClient",
+    "ServeClientError",
+    "ServeState",
+    "SystemSession",
+    "WireError",
+    "runs_to_arena_payload",
+    "serve_forever",
+]

@@ -1,0 +1,188 @@
+"""A small synchronous client for the epistemic query service.
+
+The wire protocol is newline-delimited JSON, so the client is a socket,
+a buffered reader, and a request counter.  It exists for tests, the
+serve benchmark, and scripted smoke sessions; any language with sockets
+and JSON can speak to the server without it.
+
+Convenience encoders accept model-level objects (runs, formulas) and do
+the wire encoding on the client side, so test code reads at the level
+of the paper's constructs::
+
+    with ServeClient.connect(host, port) as client:
+        client.create("demo", runs)
+        [answer] = client.query("demo", [knows_query("p1", Crashed("p2"), 0, 3)])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Sequence
+
+from repro.columnar.arena import encode_runs
+from repro.columnar.jsonio import arena_to_jsonable
+from repro.knowledge.formulas import Formula
+from repro.knowledge.wire import formula_to_jsonable
+from repro.model.run import Run
+from repro.serve.protocol import MAX_MESSAGE_BYTES, decode_message, encode_message
+
+
+class ServeClientError(RuntimeError):
+    """An ``ok: false`` response, surfaced with its wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+def runs_to_arena_payload(runs: Iterable[Run]) -> dict[str, Any]:
+    """Encode runs as the wire arena payload ``create``/``ingest`` expect."""
+    return arena_to_jsonable(encode_runs(tuple(runs)))
+
+
+def _formula_field(formula: Formula | dict[str, Any]) -> dict[str, Any]:
+    if isinstance(formula, Formula):
+        return formula_to_jsonable(formula)
+    return formula
+
+
+def holds_query(formula: Formula | dict[str, Any], run: int, time: int) -> dict[str, Any]:
+    return {"kind": "holds", "formula": _formula_field(formula), "run": run, "time": time}
+
+
+def knows_query(
+    process: str, formula: Formula | dict[str, Any], run: int, time: int
+) -> dict[str, Any]:
+    return {
+        "kind": "knows",
+        "process": process,
+        "formula": _formula_field(formula),
+        "run": run,
+        "time": time,
+    }
+
+
+def e_query(
+    group: Sequence[str],
+    depth: int,
+    formula: Formula | dict[str, Any],
+    run: int,
+    time: int,
+) -> dict[str, Any]:
+    return {
+        "kind": "e",
+        "group": list(group),
+        "depth": depth,
+        "formula": _formula_field(formula),
+        "run": run,
+        "time": time,
+    }
+
+
+def ck_query(
+    group: Sequence[str], formula: Formula | dict[str, Any], run: int, time: int
+) -> dict[str, Any]:
+    return {
+        "kind": "ck",
+        "group": list(group),
+        "formula": _formula_field(formula),
+        "run": run,
+        "time": time,
+    }
+
+
+class ServeClient:
+    """One connection to an :class:`~repro.serve.server.EpistemicServer`."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    @classmethod
+    def connect(cls, host: str, port: int, *, timeout: float = 30.0) -> "ServeClient":
+        return cls(socket.create_connection((host, port), timeout=timeout))
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- the wire ------------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request -> its response dict; raises on ``ok: false``."""
+        response = self.request_raw(payload)
+        if not response.get("ok", False):
+            raise ServeClientError(
+                str(response.get("error", "unknown")),
+                str(response.get("message", "")),
+            )
+        return response
+
+    def request_raw(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request -> its response dict, errors included."""
+        self._sock.sendall(encode_message(payload))
+        line = self._reader.readline(MAX_MESSAGE_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_message(line)
+
+    # -- operation helpers ---------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def info(self) -> dict[str, Any]:
+        return self.request({"op": "info"})
+
+    def create(
+        self,
+        system: str,
+        runs: Iterable[Run],
+        *,
+        complete: bool = False,
+        missing_runs: int = 0,
+    ) -> dict[str, Any]:
+        return self.request(
+            {
+                "op": "create",
+                "system": system,
+                "arena": runs_to_arena_payload(runs),
+                "complete": complete,
+                "missing_runs": missing_runs,
+            }
+        )
+
+    def load(self, system: str, digest: str) -> dict[str, Any]:
+        return self.request({"op": "load", "system": system, "digest": digest})
+
+    def ingest(self, system: str, runs: Iterable[Run]) -> dict[str, Any]:
+        return self.request(
+            {"op": "ingest", "system": system, "arena": runs_to_arena_payload(runs)}
+        )
+
+    def query_response(
+        self, system: str, queries: Sequence[dict[str, Any]]
+    ) -> dict[str, Any]:
+        """The full query response envelope (completeness fields included)."""
+        return self.request(
+            {"op": "query", "system": system, "queries": list(queries)}
+        )
+
+    def query(
+        self, system: str, queries: Sequence[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Just the per-query results of :meth:`query_response`."""
+        results = self.query_response(system, queries)["results"]
+        assert isinstance(results, list)
+        return results
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})

@@ -1,0 +1,80 @@
+"""Wire protocol of the epistemic query service.
+
+Newline-delimited JSON over a byte stream: every request and every
+response is one JSON object on one line, UTF-8 encoded.  No framing
+bytes, no length prefixes -- a session is readable with ``nc`` and
+scriptable from any language with a socket and a JSON library.
+
+Request envelope::
+
+    {"op": <operation>, "id": <optional client tag>, ...fields}
+
+The ``id`` field, when present, is echoed verbatim on the response so
+clients may pipeline requests over one connection.  Responses carry
+``"ok": true`` plus operation fields, or ``"ok": false`` with a stable
+``error`` code and a human-readable ``message``.
+
+Operations (see :mod:`repro.serve.state` for field semantics):
+
+========== ===========================================================
+``ping``     liveness probe
+``info``     server + per-system descriptors and counters
+``create``   register a system from an inline arena payload
+``load``     load a precomputed system from the RunCache by spec digest
+``query``    evaluate a batch of epistemic queries against one system
+``ingest``   stream new runs (an arena payload) into a live system via
+             incremental class refinement
+``shutdown`` stop the server after responding
+========== ===========================================================
+
+Error codes: ``bad-json``, ``bad-request``, ``unknown-op``,
+``unknown-system``, ``duplicate-system``, ``not-found``,
+``corrupt-entry``, ``no-cache``, ``bad-formula``, ``bad-point``,
+``bad-arena``, ``empty-system``, ``too-large``, ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: One line must fit a serialized arena payload; beyond this the
+#: connection is answered with ``too-large`` and closed.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class WireError(Exception):
+    """A request that cannot be served, with its wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    """One response/request as a single JSON line (UTF-8, newline-terminated)."""
+    return (
+        json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    """Parse one received line; raises :class:`WireError` on junk."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireError("bad-json", f"unparseable request line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireError("bad-request", "request must be a JSON object")
+    return payload
+
+
+def error_payload(
+    code: str, message: str, *, request: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """The standard error response shape (echoing the client tag)."""
+    out: dict[str, Any] = {"ok": False, "error": code, "message": message}
+    if request is not None and "id" in request:
+        out["id"] = request["id"]
+    return out

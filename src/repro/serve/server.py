@@ -1,0 +1,200 @@
+"""The asyncio service: newline-JSON requests over TCP, one task per client.
+
+Built on stdlib asyncio streams only -- no web framework, no new
+dependencies.  The epistemic kernel is CPU-bound pure-Python, so the
+server runs queries inline on the event loop (a worker pool would add
+latency without adding parallelism under the GIL); the *disk-touching*
+ops (``load`` and the cache scan inside ``info``) go through
+``loop.run_in_executor`` so a slow filesystem never stalls connected
+clients.  Lint rule ASY001 pins the no-blocking-calls-in-coroutines
+invariant statically.
+
+Concurrency note: the executor ops mutate :class:`ServeState` from a
+worker thread, but each request is awaited to completion before its
+connection reads the next line, and name claiming (``_claim_name``)
+happens-before the executor hop on the loop thread -- two concurrent
+loads cannot race one name.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.serve.protocol import (
+    MAX_MESSAGE_BYTES,
+    WireError,
+    decode_message,
+    encode_message,
+    error_payload,
+)
+from repro.serve.state import ServeState
+
+#: Operations the dispatcher accepts.
+OPERATIONS = ("ping", "info", "create", "load", "query", "ingest", "shutdown")
+
+
+class EpistemicServer:
+    """A :class:`ServeState` behind a TCP listener."""
+
+    def __init__(
+        self,
+        state: ServeState,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.state = state
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self.host,
+            self.port,
+            limit=MAX_MESSAGE_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def wait_stopped(self) -> None:
+        await self._stopping.wait()
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def run(self) -> None:
+        """start(), serve until a shutdown request, then close."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self.wait_stopped()
+        finally:
+            await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # A line beyond the stream limit: answer and drop the
+                    # connection (the stream cannot resynchronize).
+                    writer.write(
+                        encode_message(
+                            error_payload(
+                                "too-large",
+                                f"request line exceeds {MAX_MESSAGE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF: client hung up
+                if not line.strip():
+                    continue  # blank keep-alive line
+                response = await self._respond(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if response.get("stopping"):
+                    self._stopping.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-write; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict[str, Any]:
+        request: dict[str, Any] | None = None
+        try:
+            request = decode_message(line)
+            response = await self._dispatch(request)
+        except WireError as exc:
+            return error_payload(exc.code, exc.message, request=request)
+        except Exception as exc:  # never let one request kill the connection
+            return error_payload(
+                "internal", f"{type(exc).__name__}: {exc}", request=request
+            )
+        response.setdefault("ok", True)
+        if request is not None and "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    # -- the operations ------------------------------------------------------
+
+    async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        if not isinstance(op, str) or op not in OPERATIONS:
+            raise WireError(
+                "unknown-op", f"unknown op {op!r}; expected one of {list(OPERATIONS)}"
+            )
+        state = self.state
+        state.count(op)
+        if op == "ping":
+            return {"pong": True}
+        if op == "shutdown":
+            return {"stopping": True}
+        loop = asyncio.get_running_loop()
+        if op == "info":
+            # describe() scans the cache directory -- executor, not loop.
+            return await loop.run_in_executor(None, state.describe)
+        if op == "create":
+            session = state.create(
+                request.get("system"),
+                request.get("arena"),
+                complete=bool(request.get("complete", False)),
+                missing_runs=int(request.get("missing_runs", 0)),
+            )
+            return {"created": session.name, **session.describe()}
+        if op == "load":
+            # Claim the name on the loop thread, do the disk work off it.
+            name = state.claim(request.get("system", request.get("digest")))
+            try:
+                session = await loop.run_in_executor(
+                    None, state.load_into, name, request.get("digest")
+                )
+            except BaseException:
+                state.release(name)
+                raise
+            return {"loaded": session.name, **session.describe()}
+        if op == "ingest":
+            session = state.session(request.get("system"))
+            result = session.ingest(request.get("arena"))
+            return {**session.envelope(), **result}
+        # op == "query"
+        session = state.session(request.get("system"))
+        queries = request.get("queries")
+        if not isinstance(queries, list):
+            raise WireError("bad-request", "'queries' must be a list")
+        results = [session.run_query(q) for q in queries]
+        return {**session.envelope(), "results": results}
+
+
+async def serve_forever(
+    state: ServeState, *, host: str = "127.0.0.1", port: int = 0
+) -> None:
+    """Convenience entry point used by the harness ``serve`` subcommand."""
+    server = EpistemicServer(state, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    print(f"repro.serve listening on {bound_host}:{bound_port}", flush=True)
+    await server.run()

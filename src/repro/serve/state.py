@@ -1,0 +1,422 @@
+"""Server-side state: systems under service and the query dispatcher.
+
+One :class:`SystemSession` wraps a live :class:`~repro.model.system.System`
+together with its model checker, group checker, and a wire-formula
+intern table.  Interning matters: the model checker memoizes per
+``Formula`` *instance*, so decoding the same wire payload to the same
+object keeps the local/point/temporal caches hot across requests.
+
+Online ingestion goes through :meth:`SystemSession.ingest`: the arena
+payload decodes to runs, duplicates (against the live run set and
+within the batch) are dropped, and :meth:`System.extend` derives the
+child system by incremental class refinement -- the history trie and
+per-process class tables grow in place of a from-scratch reindex, with
+answers pinned bit-identical to a rebuild by the differential tests.
+Each ingest bumps the session ``generation`` so clients can correlate
+answers with the run set that produced them.
+
+All methods here are synchronous; the asyncio layer
+(:mod:`repro.serve.server`) shunts the disk-touching ones through an
+executor so the event loop never blocks.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING, Any
+
+from repro.columnar.arena import decode_runs
+from repro.columnar.jsonio import arena_from_jsonable
+from repro.knowledge.formulas import Formula, Knows
+from repro.knowledge.group import GroupChecker
+from repro.knowledge.semantics import ModelChecker
+from repro.knowledge.wire import formula_from_jsonable, formula_wire_key
+from repro.model.events import ProcessId
+from repro.model.run import Point, Run
+from repro.model.system import IncompleteSystemWarning, System
+from repro.serve.protocol import WireError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.cache import RunCache
+
+#: Query kinds the ``query`` op dispatches on.
+QUERY_KINDS = (
+    "holds",
+    "knows",
+    "e",
+    "max_e_depth",
+    "ck",
+    "ck_points",
+    "known_crashed",
+    "valid",
+)
+
+_MAX_E_CAP = 64  # ladder cap: depth requests beyond this are bad-request
+
+
+def _decode_arena_runs(payload: Any) -> tuple[Run, ...]:
+    """An inline ``arena`` payload -> runs, with wire-coded failures."""
+    if not isinstance(payload, dict):
+        raise WireError("bad-arena", "'arena' must be an arena JSON object")
+    try:
+        return decode_runs(arena_from_jsonable(payload))
+    except WireError:
+        raise
+    except Exception as exc:
+        raise WireError("bad-arena", f"undecodable arena payload: {exc}") from exc
+
+
+class SystemSession:
+    """One named system under service, plus its checkers and caches."""
+
+    def __init__(
+        self, name: str, system: System, *, source: str = "inline"
+    ) -> None:
+        self.name = name
+        self.system = system
+        self.source = source
+        self.generation = 0
+        self.queries_answered = 0
+        self.runs_ingested = 0
+        self.checker = ModelChecker(system)
+        self.group = GroupChecker(self.checker)
+        self._formulas: dict[str, Formula] = {}
+
+    # -- request-field decoding ---------------------------------------------
+
+    def _formula(self, query: dict[str, Any]) -> Formula:
+        data = query.get("formula")
+        if data is None:
+            raise WireError("bad-formula", "query is missing 'formula'")
+        key = formula_wire_key(data)
+        formula = self._formulas.get(key)
+        if formula is None:
+            try:
+                formula = formula_from_jsonable(data)
+            except ValueError as exc:
+                raise WireError("bad-formula", str(exc)) from exc
+            self._formulas[key] = formula
+        return formula
+
+    def _process(self, query: dict[str, Any], field: str = "process") -> ProcessId:
+        process = query.get(field)
+        if not isinstance(process, str):
+            raise WireError("bad-request", f"query field {field!r} must be a string")
+        if process not in self.system.processes:
+            raise WireError(
+                "bad-request",
+                f"unknown process {process!r}; system has "
+                f"{list(self.system.processes)}",
+            )
+        return process
+
+    def _group(self, query: dict[str, Any]) -> list[ProcessId]:
+        group = query.get("group")
+        if not isinstance(group, list) or not group:
+            raise WireError("bad-request", "query field 'group' must be a non-empty list")
+        known = set(self.system.processes)
+        members: list[ProcessId] = []
+        for member in group:
+            if not isinstance(member, str) or member not in known:
+                raise WireError("bad-request", f"unknown group member {member!r}")
+            members.append(member)
+        return members
+
+    def _point(self, query: dict[str, Any]) -> Point:
+        run_index = query.get("run")
+        time = query.get("time")
+        runs = self.system.runs
+        if not isinstance(run_index, int) or isinstance(run_index, bool):
+            raise WireError("bad-point", "query field 'run' must be an integer")
+        if not 0 <= run_index < len(runs):
+            raise WireError(
+                "bad-point",
+                f"run index {run_index} out of range (system has {len(runs)} runs)",
+            )
+        if not isinstance(time, int) or isinstance(time, bool) or time < 0:
+            raise WireError("bad-point", "query field 'time' must be a non-negative integer")
+        # Times beyond the run's duration clamp to the final cut (the
+        # finite-horizon convention); report the clamped point back.
+        return Point(runs[run_index], min(time, runs[run_index].duration))
+
+    def _depth(self, query: dict[str, Any], field: str, default: int | None) -> int:
+        value = query.get(field, default)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise WireError("bad-request", f"query field {field!r} must be a non-negative integer")
+        if value > _MAX_E_CAP:
+            raise WireError("bad-request", f"query field {field!r} exceeds the cap of {_MAX_E_CAP}")
+        return value
+
+    # -- queries -------------------------------------------------------------
+
+    def run_query(self, query: Any) -> dict[str, Any]:
+        """Answer one query dict; never raises for per-query problems."""
+        try:
+            return self._dispatch(query)
+        except WireError as exc:
+            return {"ok": False, "error": exc.code, "message": exc.message}
+
+    def _dispatch(self, query: Any) -> dict[str, Any]:
+        if not isinstance(query, dict):
+            raise WireError("bad-request", "each query must be a JSON object")
+        kind = query.get("kind")
+        # Sampled-system warnings surface structurally (the response
+        # envelope's "complete"/"missing_runs" fields), not as Python
+        # warnings inside the server process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", IncompleteSystemWarning)
+            if kind == "holds":
+                result: dict[str, Any] = {
+                    "result": self.checker.holds(self._formula(query), self._point(query))
+                }
+            elif kind == "knows":
+                process = self._process(query)
+                formula = self._formula(query)
+                key = f"knows:{process}:{formula_wire_key(query['formula'])}"
+                wrapped = self._formulas.get(key)
+                if wrapped is None:
+                    wrapped = Knows(process, formula)
+                    self._formulas[key] = wrapped
+                result = {"result": self.checker.holds(wrapped, self._point(query))}
+            elif kind == "e":
+                group = self._group(query)
+                depth = self._depth(query, "depth", 1)
+                formula = self._formula(query)
+                point = self._point(query)
+                if depth == 0:
+                    value = self.checker.holds(formula, point)
+                else:
+                    value = (
+                        self.group.max_e_depth(group, formula, point, cap=depth)
+                        == depth
+                    )
+                result = {"result": value}
+            elif kind == "max_e_depth":
+                result = {
+                    "result": self.group.max_e_depth(
+                        self._group(query),
+                        self._formula(query),
+                        self._point(query),
+                        cap=self._depth(query, "cap", 10),
+                    )
+                }
+            elif kind == "ck":
+                result = {
+                    "result": self.group.common_knowledge(
+                        self._group(query), self._formula(query), self._point(query)
+                    )
+                }
+            elif kind == "ck_points":
+                points = self.group.common_knowledge_points(
+                    self._group(query), self._formula(query)
+                )
+                result = {"result": [list(p) for p in sorted(points)]}
+            elif kind == "known_crashed":
+                known = self.system.known_crashed_set(
+                    self._process(query), self._point(query)
+                )
+                result = {"result": sorted(known)}
+            elif kind == "valid":
+                witness = self.checker.counterexample(self._formula(query))
+                counterexample: list[int] | None = None
+                if witness is not None:
+                    run_index = self.system.run_index(witness.run)
+                    assert run_index is not None  # counterexamples are in-system
+                    counterexample = [run_index, witness.time]
+                result = {
+                    "result": witness is None,
+                    "counterexample": counterexample,
+                }
+            else:
+                raise WireError(
+                    "bad-request",
+                    f"unknown query kind {kind!r}; expected one of {list(QUERY_KINDS)}",
+                )
+        self.queries_answered += 1
+        result.update({"ok": True, "kind": kind})
+        return result
+
+    # -- online ingestion ----------------------------------------------------
+
+    def ingest(self, arena_payload: Any) -> dict[str, Any]:
+        """Fold an arena of new runs into the live system (refinement path)."""
+        runs = _decode_arena_runs(arena_payload)
+        if runs and runs[0].processes != self.system.processes:
+            raise WireError(
+                "bad-arena",
+                "ingested runs are over a different process set than the system",
+            )
+        seen = set(self.system.runs)
+        fresh: list[Run] = []
+        for run in runs:
+            if run not in seen:
+                seen.add(run)
+                fresh.append(run)
+        if fresh:
+            system = self.system.extend(fresh)
+            self.system = system
+            self.checker = ModelChecker(system)
+            self.group = GroupChecker(self.checker)
+            self.generation += 1
+            self.runs_ingested += len(fresh)
+        return {
+            "added": len(fresh),
+            "duplicates": len(runs) - len(fresh),
+            "runs": len(self.system.runs),
+            "generation": self.generation,
+        }
+
+    # -- descriptors ---------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        system = self.system
+        return {
+            "runs": len(system.runs),
+            "points": system.point_count,
+            "processes": list(system.processes),
+            "complete": system.complete,
+            "missing_runs": system.missing_runs,
+            "kernel": system.kernel,
+            "generation": self.generation,
+            "source": self.source,
+            "queries_answered": self.queries_answered,
+            "runs_ingested": self.runs_ingested,
+        }
+
+    def envelope(self) -> dict[str, Any]:
+        """The completeness fields every query response carries."""
+        return {
+            "system": self.name,
+            "generation": self.generation,
+            "complete": self.system.complete,
+            "missing_runs": self.system.missing_runs,
+        }
+
+
+class ServeState:
+    """All sessions of one server, plus the optional RunCache behind ``load``."""
+
+    def __init__(self, cache: "RunCache | None" = None) -> None:
+        self.cache = cache
+        self.sessions: dict[str, SystemSession] = {}
+        self.op_counts: dict[str, int] = {}
+        # Names claimed by in-flight loads (see claim/release below).
+        self._pending: set[str] = set()
+
+    def count(self, op: str) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+
+    def session(self, name: Any) -> SystemSession:
+        if not isinstance(name, str):
+            raise WireError("bad-request", "'system' must be a string")
+        session = self.sessions.get(name)
+        if session is None:
+            raise WireError(
+                "unknown-system",
+                f"no system named {name!r}; create or load one first",
+            )
+        return session
+
+    def _claim_name(self, name: Any) -> str:
+        if not isinstance(name, str) or not name:
+            raise WireError("bad-request", "'system' must be a non-empty string")
+        if name in self.sessions or name in self._pending:
+            raise WireError("duplicate-system", f"system {name!r} already exists")
+        return name
+
+    def claim(self, name: Any) -> str:
+        """Reserve a session name ahead of an executor-side load.
+
+        The async server claims on the loop thread, then runs the disk
+        work off-loop -- so two concurrent ``load`` requests can never
+        race one name.  Balanced by :meth:`release` on failure; the name
+        becomes visible in ``sessions`` when the load lands.
+        """
+        name = self._claim_name(name)
+        self._pending.add(name)
+        return name
+
+    def release(self, name: str) -> None:
+        """Drop a claim whose load failed."""
+        self._pending.discard(name)
+
+    def create(
+        self,
+        name: Any,
+        arena_payload: Any,
+        *,
+        complete: bool = False,
+        missing_runs: int = 0,
+    ) -> SystemSession:
+        """Register a system from an inline arena payload."""
+        name = self._claim_name(name)
+        runs = _decode_arena_runs(arena_payload)
+        if not runs:
+            raise WireError("empty-system", "a system must contain at least one run")
+        session = SystemSession(
+            name,
+            System(runs, complete=complete, missing_runs=missing_runs),
+            source="inline",
+        )
+        self.sessions[name] = session
+        return session
+
+    def load_digest(self, name: Any, digest: Any) -> SystemSession:
+        """Claim ``name`` and load it from the cache (sync convenience)."""
+        name = self.claim(name)
+        try:
+            return self.load_into(name, digest)
+        except BaseException:
+            self.release(name)
+            raise
+
+    def load_into(self, name: str, digest: Any) -> SystemSession:
+        """Load a precomputed exploration from the RunCache by spec digest.
+
+        ``name`` must already be claimed.  Synchronous and disk-touching
+        -- the server calls this through an executor.  A corrupt entry
+        degrades gracefully: the cache quarantines it and the recorded
+        reason comes back as a ``corrupt-entry`` error instead of a bare
+        miss.
+        """
+        if self.cache is None:
+            raise WireError("no-cache", "server was started without a run cache")
+        if not isinstance(digest, str) or not digest:
+            raise WireError("bad-request", "'digest' must be a non-empty string")
+        entry = self.cache.get_exploration_entry(digest)
+        if entry is None:
+            reason = self.cache.quarantine_reason(digest)
+            if reason is not None:
+                raise WireError(
+                    "corrupt-entry",
+                    f"cache entry for {digest} failed integrity checks and "
+                    f"was quarantined: {reason}",
+                )
+            raise WireError("not-found", f"no cached exploration for digest {digest}")
+        if not entry.runs:
+            raise WireError("empty-system", f"cached exploration {digest} has no runs")
+        # Only exhaustive explorations are ever cached, so the loaded
+        # system is complete by construction.
+        session = SystemSession(
+            name,
+            System(entry.runs, complete=True),
+            source=f"cache:{digest}",
+        )
+        self.sessions[name] = session
+        self._pending.discard(name)
+        return session
+
+    def describe(self) -> dict[str, Any]:
+        """The ``info`` op payload."""
+        cache_digests: list[str] = []
+        if self.cache is not None:
+            cache_digests = list(self.cache.exploration_digests())
+        return {
+            "systems": {
+                name: session.describe()
+                for name, session in sorted(self.sessions.items())
+            },
+            "cache_digests": cache_digests,
+            "op_counts": dict(sorted(self.op_counts.items())),
+            "query_kinds": list(QUERY_KINDS),
+        }

@@ -28,6 +28,20 @@ The gate dispatches on the ``benchmark`` field of the committed file
     ratios directly, on top of the absolute acceptance floors:
     index build >= 5x, C_G fixpoint >= 3x, transfer header <= 10% of
     the pickled run batch.
+
+``serve-latency`` (BENCH_serve.json)
+    Compares the query service's throughput (qps floor) and p95 latency
+    (ceiling) at every committed concurrency level, plus the ingest
+    p95.  Both files record an in-process calibration figure
+    (``calibration.direct_qps``: the same query mix run directly
+    against a SystemSession, no sockets), which measures raw kernel
+    speed on the recording machine; the fresh/committed calibration
+    ratio rescales the committed figures before the tolerance band is
+    applied.  The scale is clamped at 1.0 -- socket round-trips do not
+    speed up linearly with kernel speed, so normalization only loosens
+    the bands on a slower machine, never tightens them on a faster
+    one.  Socket latency is noisy on shared CI runners, so this gate
+    is usually run with a looser ``--tolerance`` (0.5 in CI).
 """
 
 from __future__ import annotations
@@ -150,6 +164,86 @@ def check_kernel(committed: dict, fresh: dict, args: argparse.Namespace) -> int:
     return 0
 
 
+def check_serve(committed: dict, fresh: dict, args: argparse.Namespace) -> int:
+    for name, payload in (("committed", committed), ("fresh", fresh)):
+        if not payload.get("calibration", {}).get("direct_qps"):
+            sys.exit(f"{name} payload lacks a nonzero calibration.direct_qps")
+
+    # How fast is this machine's kernel relative to the recording
+    # machine's?  The socket-free calibration round measures that.
+    machine_scale = (
+        fresh["calibration"]["direct_qps"] / committed["calibration"]["direct_qps"]
+    )
+    # Socket round-trips do not speed up linearly with kernel speed, so
+    # normalization only ever *loosens* the bands: a slower machine gets
+    # scaled-down floors and scaled-up ceilings, a faster one is simply
+    # held to the committed figures.
+    floor_scale = min(machine_scale, 1.0)
+    print(
+        f"serve calibration: fresh {fresh['calibration']['direct_qps']:,.0f} q/s "
+        f"in-process, committed {committed['calibration']['direct_qps']:,.0f} "
+        f"(machine scale {machine_scale:.2f}x, applied {floor_scale:.2f}x)"
+    )
+    failed = False
+
+    for key in sorted(committed.get("results", {})):
+        committed_e = _entry(committed, args.committed, key)
+        fresh_e = _entry(fresh, args.fresh, key)
+        for name, e in (("committed", committed_e), ("fresh", fresh_e)):
+            for field in ("qps", "p95_ms"):
+                if not e.get(field):
+                    sys.exit(f"{name} entry {key} lacks a nonzero {field!r}")
+        qps_floor = committed_e["qps"] * floor_scale * (1.0 - args.tolerance)
+        p95_ceiling = (
+            committed_e["p95_ms"] / floor_scale * (1.0 + args.tolerance)
+        )
+        print(
+            f"serve {key}: fresh {fresh_e['qps']:,.0f} q/s "
+            f"p95 {fresh_e['p95_ms']:.2f} ms, committed "
+            f"{committed_e['qps']:,.0f} q/s p95 {committed_e['p95_ms']:.2f} ms "
+            f"(floor {qps_floor:,.0f} q/s, ceiling {p95_ceiling:.2f} ms)"
+        )
+        if fresh_e["qps"] < qps_floor:
+            print(
+                f"REGRESSION: {key} throughput {fresh_e['qps']:,.0f} "
+                f"< {qps_floor:,.0f} q/s",
+                file=sys.stderr,
+            )
+            failed = True
+        if fresh_e["p95_ms"] > p95_ceiling:
+            print(
+                f"REGRESSION: {key} p95 {fresh_e['p95_ms']:.2f} "
+                f"> {p95_ceiling:.2f} ms",
+                file=sys.stderr,
+            )
+            failed = True
+
+    # Ingest is gated on p50: the batch counts are small (4-8), so p95
+    # is a max over a handful of samples and one GC pause trips it.
+    for name, payload in (("committed", committed), ("fresh", fresh)):
+        if not payload.get("ingest", {}).get("p50_ms"):
+            sys.exit(f"{name} payload lacks a nonzero ingest.p50_ms")
+    ingest_ceiling = (
+        committed["ingest"]["p50_ms"] / floor_scale * (1.0 + args.tolerance)
+    )
+    fresh_ingest = fresh["ingest"]["p50_ms"]
+    print(
+        f"serve ingest p50: fresh {fresh_ingest:.2f} ms, committed "
+        f"{committed['ingest']['p50_ms']:.2f} ms (ceiling {ingest_ceiling:.2f} ms)"
+    )
+    if fresh_ingest > ingest_ceiling:
+        print(
+            f"REGRESSION: ingest p50 {fresh_ingest:.2f} > {ingest_ceiling:.2f} ms",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
+        return 1
+    print("ok")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("committed", type=Path)
@@ -169,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
         return check_kernel(committed, fresh, args)
     if kind == "explore-enumeration":
         return check_explore(committed, fresh, args)
+    if kind == "serve-latency":
+        return check_serve(committed, fresh, args)
     sys.exit(f"unknown benchmark kind {kind!r}")
 
 
