@@ -19,6 +19,12 @@ Two layers, one package:
   quarantine, degraded :class:`~repro.runtime.report.EnsembleReport`) to
   survive.  Invisible to spec digests by design.
 
+* **Wire faults** (:class:`WireFaultPlan` driving a :class:`ChaosProxy`):
+  a seeded TCP relay between a real client and a real server --
+  latency, throttling, partial writes, mid-frame disconnects, byte
+  corruption -- chaos for the hardened serve layer (admission control,
+  deadlines, checksums, journal recovery) to survive.
+
 See DESIGN.md §10 for the line between the paper's fault *model* and
 this package's fault *injection*.
 """
@@ -38,15 +44,19 @@ from repro.faults.plan import (
     FaultInjector,
     FaultPlan,
 )
+from repro.faults.proxy import ChaosProxy, WireFaultInjector, WireFaultPlan
 
 __all__ = [
     "ChannelFaults",
+    "ChaosProxy",
     "DetectorFaults",
     "FaultInjector",
     "FaultPlan",
     "FaultyChannel",
     "FaultyDetectorOracle",
     "InfraFaultPlan",
+    "WireFaultInjector",
+    "WireFaultPlan",
     "active_infra_faults",
     "corrupt_cache_entry",
     "install_infra_faults",

@@ -7,8 +7,11 @@ Usage::
     python -m repro.harness chaos
     python -m repro.harness lint [PATHS...] [--format json] [--select RULE,...]
     python -m repro.harness serve [--host H] [--port P] [--cache DIR]
+                                  [--journal-dir DIR] [--max-inflight N]
+                                  [--request-deadline S] [...]
     python -m repro.harness bench-serve [--out PATH]
     python -m repro.harness serve-smoke
+    python -m repro.harness serve-soak [--seed N] [--clients N] [--rounds N]
 
 With no ids, every registered experiment runs.  ``--backend process``
 executes the ensemble sweeps inside each experiment on a worker-process
@@ -32,10 +35,16 @@ model-invariant static analyzer (:mod:`repro.lint`) over ``src/repro``
 (or the given paths) and exits 1 on any error-severity finding.
 
 The ``serve`` family drives the online epistemic query service
-(:mod:`repro.serve`): ``serve`` runs the asyncio JSON server, ``bench-
-serve`` records BENCH_serve.json, and ``serve-smoke`` is the CI
-end-to-end check (boot, mixed query batch, one online ingest pinned
-against a fresh rebuild, clean shutdown).
+(:mod:`repro.serve`): ``serve`` runs the asyncio JSON server (with
+optional write-ahead journaling, crash recovery, and admission-control
+knobs), ``bench-serve`` records BENCH_serve.json (including the
+journaling-overhead section), ``serve-smoke`` is the CI end-to-end
+check (boot, mixed query batch, one online ingest pinned against a
+fresh rebuild, clean shutdown), and ``serve-soak`` is the chaos soak:
+a client fleet driven through a seeded TCP chaos proxy at a supervised
+server that is SIGKILLed and respawned mid-soak, asserting zero wrong
+answers against an in-process oracle and full post-recovery
+bit-equality.
 """
 
 from __future__ import annotations
@@ -298,6 +307,10 @@ def main(argv: list[str]) -> int:
         from repro.harness.servecli import serve_smoke_main
 
         return serve_smoke_main(args[1:])
+    if args and args[0] == "serve-soak":
+        from repro.harness.servecli import serve_soak_main
+
+        return serve_soak_main(args[1:])
     if "--list" in args:
         print(registry.describe())
         return 0

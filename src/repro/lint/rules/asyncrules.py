@@ -1,4 +1,4 @@
-"""Async-safety rules (ASY001).
+"""Async-safety rules (ASY001, ASY002).
 
 The query service (:mod:`repro.serve`) runs every connected client on
 one event loop: a single blocking call inside a coroutine stalls *all*
@@ -6,6 +6,14 @@ of them at once, which no test exercising one connection will notice.
 ASY001 pins the invariant statically -- coroutines in the serve package
 must off-load blocking work (``loop.run_in_executor``) or use the
 asyncio-native equivalent (``asyncio.sleep``, stream APIs).
+
+ASY002 pins the companion invariant: no *fire-and-forget* tasks.  A
+task spawned by ``asyncio.create_task(...)`` whose handle is discarded
+can be garbage-collected mid-flight, and -- worse for a robustness
+suite -- its exceptions vanish into the "Task exception was never
+retrieved" log instead of failing anything.  Every spawned task must be
+retained (assigned, awaited, gathered, or registered in a tracking set)
+so shutdown can drain it and its failures have an owner.
 """
 
 from __future__ import annotations
@@ -149,3 +157,95 @@ class BlockingCallInCoroutineRule(Rule):
                         f"blocking call {origin}() inside coroutine "
                         f"{node.name!r} stalls every connected client",
                     )
+
+
+#: spawning functions whose returned task must not be discarded
+_SPAWN_CALLS = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+
+#: attribute spellings of the same spawns on an event-loop object
+#: (``loop.create_task(...)``); TaskGroup.create_task is exempt because
+#: the group itself retains the task, so only loop-named receivers count.
+_SPAWN_METHODS = frozenset({"create_task", "ensure_future"})
+
+
+def _asyncio_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local-name -> dotted-origin map for the asyncio module."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "asyncio":
+                    aliases[alias.asname or "asyncio"] = (
+                        alias.name if alias.asname else "asyncio"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "asyncio":
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    return aliases
+
+
+def _is_fire_and_forget_spawn(call: ast.Call, aliases: dict[str, str]) -> bool:
+    """Does this call spawn a task (so discarding its result loses it)?"""
+    origin = _resolve(aliases, call.func)
+    if origin in _SPAWN_CALLS:
+        return True
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _SPAWN_METHODS
+        and isinstance(func.value, ast.Name)
+        and (func.value.id == "loop" or func.value.id.endswith("_loop"))
+    ):
+        return True
+    return False
+
+
+@register
+class FireAndForgetTaskRule(Rule):
+    """ASY002: a task spawned without retaining its handle can be
+    garbage-collected mid-flight, and its exceptions are silently
+    swallowed -- exactly the failures a robustness layer must surface.
+    Assign the task, await it, or register it in a tracked set with a
+    done-callback."""
+
+    id = "ASY002"
+    summary = "fire-and-forget asyncio task (spawned handle discarded)"
+    hint = (
+        "retain the task: assign it (and cancel/await it on teardown), "
+        "await it, or add it to a tracked set with a done-callback"
+    )
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        if not mod.in_packages(ASYNC_PACKAGES):
+            return
+        aliases = _asyncio_aliases(mod.tree)
+        for node in ast.walk(mod.tree):
+            # A spawn as a bare expression statement: the only reference
+            # to the new task is dropped on the spot.
+            discarded: ast.Call | None = None
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                discarded = node.value
+            elif (
+                # `_ = create_task(...)` discards just as surely.
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and all(
+                    isinstance(t, ast.Name) and t.id == "_" for t in node.targets
+                )
+            ):
+                discarded = node.value
+            if discarded is None or not _is_fire_and_forget_spawn(
+                discarded, aliases
+            ):
+                continue
+            yield self.finding(
+                mod,
+                discarded.lineno,
+                discarded.col_offset,
+                "task spawned and immediately discarded: it may be "
+                "garbage-collected mid-flight and its exceptions are "
+                "never observed",
+            )

@@ -26,6 +26,7 @@ Quickstart::
 from repro.runtime.api import run_ensemble, run_spec
 from repro.runtime.backends import (
     BatchResult,
+    Deadline,
     ExecutionBackend,
     ProcessPoolBackend,
     RetryPolicy,
@@ -82,6 +83,7 @@ def __getattr__(name: str) -> object:
 __all__ = [
     "BatchResult",
     "CacheIntegrityError",
+    "Deadline",
     "EnsembleReport",
     "EnsembleSpec",
     "ExecutionBackend",

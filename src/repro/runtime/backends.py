@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import time
 import traceback
 from abc import ABC, abstractmethod
@@ -54,17 +55,22 @@ TimedRun = tuple[Run, float]
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retries with exponential backoff.
+    """Bounded retries with exponential backoff (and optional jitter).
 
     ``delay(attempt)`` is the sleep *after* failed attempt number
     ``attempt`` (1-based): base, base*factor, base*factor^2, ... capped
-    at ``max_backoff``.
+    at ``max_backoff``.  When ``jitter`` is nonzero and a seeded
+    ``random.Random`` is supplied, up to ``jitter`` times the computed
+    delay is added uniformly -- desynchronizing retry storms from many
+    clients without sacrificing replayability (the caller owns the rng
+    and its seed).
     """
 
     max_attempts: int = 3
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     max_backoff: float = 2.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -73,12 +79,52 @@ class RetryPolicy:
             raise ValueError("backoff times must be non-negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
-    def delay(self, attempt: int) -> float:
-        return min(
+    def delay(self, attempt: int, rng: "random.Random | None" = None) -> float:
+        base = min(
             self.max_backoff,
             self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
         )
+        if rng is not None and self.jitter > 0:
+            base += base * self.jitter * rng.random()
+        return base
+
+
+class Deadline:
+    """A cooperative wall-clock budget on the monotonic clock.
+
+    Mirrors ``ExecutionConfig.deadline`` semantics for long-running
+    *service* work: the holder polls :attr:`expired` at safe points
+    (between queries of a batch, between soak rounds) and sheds the
+    remainder with a structured error instead of being interrupted
+    mid-computation.  ``Deadline.after(None)`` never expires, so call
+    sites need no conditional wiring.
+    """
+
+    __slots__ = ("_at",)
+
+    def __init__(self, at: float | None) -> None:
+        self._at = at
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline":
+        if seconds is None:
+            return cls(None)
+        if seconds < 0:
+            raise ValueError("deadline seconds must be non-negative")
+        return cls(time.monotonic() + seconds)
+
+    @property
+    def expired(self) -> bool:
+        return self._at is not None and time.monotonic() >= self._at
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0), or None for the infinite deadline."""
+        if self._at is None:
+            return None
+        return max(0.0, self._at - time.monotonic())
 
 
 @dataclass(frozen=True)

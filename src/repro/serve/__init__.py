@@ -7,43 +7,64 @@ resident) and answer Knows / E^k / C_G / formula queries over a socket
 in microseconds instead of re-running a harness per question.
 
 * :mod:`repro.serve.protocol` -- newline-delimited JSON wire format,
-  error codes, size limits;
+  error codes, size limits, optional end-to-end checksums;
+* :mod:`repro.serve.journal`  -- per-session write-ahead journals:
+  ``create``/``load``/``ingest`` are durable before they are
+  acknowledged, and a crashed server replays them at boot;
 * :mod:`repro.serve.state`    -- :class:`SystemSession` (one served
-  system + checkers + formula intern table) and :class:`ServeState`
-  (the session registry and RunCache binding);
+  system + checkers + formula intern table, versioned in immutable
+  :class:`SessionEpoch` snapshots) and :class:`ServeState` (the session
+  registry, RunCache binding, journal wiring, and crash recovery);
 * :mod:`repro.serve.server`   -- :class:`EpistemicServer`, the stdlib
-  asyncio TCP layer (no new dependencies);
-* :mod:`repro.serve.client`   -- a small synchronous client for tests,
-  benchmarks, and scripted sessions;
-* :mod:`repro.serve.bench`    -- the BENCH_serve.json latency benchmark.
+  asyncio TCP layer (no new dependencies), with admission control,
+  per-request deadlines, and graceful drain (:class:`ServerLimits`);
+* :mod:`repro.serve.client`   -- a small synchronous client with read
+  timeouts, bounded seeded-jitter retry, and optional checksums;
+* :mod:`repro.serve.bench`    -- the BENCH_serve.json latency benchmark
+  (including the journaling-overhead gate).
 
 Online ingestion is the headline: ``ingest`` streams new runs into a
 live system through :meth:`System.extend`, which refines the columnar
 kernel's history trie and class tables incrementally -- answers stay
 bit-identical to a from-scratch rebuild (pinned by the differential
-tests) without paying for one.
+tests) without paying for one.  Journal replay reuses the same path,
+so answers after crash recovery are bit-identical too.
 
 Coroutines in this package must never block the event loop: lint rule
 ASY001 statically flags ``time.sleep``/sync file I/O/``subprocess``
-calls inside ``async def`` here.
+calls inside ``async def`` here, and ASY002 flags fire-and-forget
+``asyncio.create_task`` calls whose failures nothing would observe.
 
 Start a server with ``python -m repro.harness serve``; see the README
 quickstart for a worked client session.
 """
 
-from repro.serve.client import ServeClient, ServeClientError, runs_to_arena_payload
-from repro.serve.protocol import MAX_MESSAGE_BYTES, WireError
-from repro.serve.server import EpistemicServer, serve_forever
-from repro.serve.state import ServeState, SystemSession
+from repro.serve.client import (
+    ServeClient,
+    ServeClientError,
+    ServeTimeout,
+    runs_to_arena_payload,
+)
+from repro.serve.journal import ServeJournal, SessionJournal
+from repro.serve.protocol import MAX_MESSAGE_BYTES, WireError, wire_checksum
+from repro.serve.server import EpistemicServer, ServerLimits, serve_forever
+from repro.serve.state import RecoveryReport, ServeState, SessionEpoch, SystemSession
 
 __all__ = [
     "EpistemicServer",
     "MAX_MESSAGE_BYTES",
+    "RecoveryReport",
     "ServeClient",
     "ServeClientError",
+    "ServeJournal",
     "ServeState",
+    "ServeTimeout",
+    "ServerLimits",
+    "SessionEpoch",
+    "SessionJournal",
     "SystemSession",
     "WireError",
     "runs_to_arena_payload",
     "serve_forever",
+    "wire_checksum",
 ]

@@ -11,6 +11,12 @@ Socket round-trips are machine-bound, so the payload also records a
 ``tools/check_bench_regression.py`` rescales the committed numbers by
 the calibration ratio before applying its tolerance, so a slower CI
 runner does not trip the gate but a serve-layer regression does.
+
+The payload also records a ``journal`` section: the same single-client
+query/ingest pass run twice, journaling off and on (fsync enabled),
+with the on/off p50 ratios.  The query path never touches the journal,
+so the gate's ``serve-journal`` mode pins ``query_overhead`` at 15% --
+a breach means journal work leaked onto the read path.
 """
 
 from __future__ import annotations
@@ -18,9 +24,11 @@ from __future__ import annotations
 import asyncio
 import platform
 import random
+import tempfile
 import threading
 import time
 from datetime import datetime, timezone
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.knowledge.formulas import Crashed, Diamond
@@ -33,6 +41,7 @@ from repro.serve.client import (
     holds_query,
     knows_query,
 )
+from repro.serve.journal import ServeJournal
 from repro.serve.server import EpistemicServer
 from repro.serve.state import ServeState, SystemSession
 
@@ -159,6 +168,97 @@ def _direct_qps(
     return (rounds * len(mix)) / elapsed if elapsed > 0 else 0.0
 
 
+def _journal_mode(
+    runs: Sequence[Run],
+    processes: Sequence[str],
+    mix: list[dict[str, Any]],
+    *,
+    journal_dir: str | None,
+    requests: int,
+    ingest_batches: int,
+    ingest_batch_runs: int,
+    duration: int,
+) -> dict[str, Any]:
+    """Query/ingest p50s for one journaling mode (off, or on with fsync).
+
+    Both modes run in the same process on the same machine, so the
+    on/off ratio is machine-normalized by construction -- the same
+    trick the kernel bench uses for its speedup figures.
+    """
+    journal = ServeJournal(Path(journal_dir)) if journal_dir is not None else None
+    state = ServeState(journal=journal)
+    server, thread, host, port = _start_server(state)
+    try:
+        with ServeClient.connect(host, port) as admin:
+            admin.create("bench", runs, complete=False)
+        level = _drive_clients(
+            host, port, "bench", mix, clients=1, requests_per_client=requests
+        )
+        rng = random.Random(4321)
+        ingest_latencies: list[float] = []
+        with ServeClient.connect(host, port) as admin:
+            for _ in range(ingest_batches):
+                batch = [
+                    synthetic_run(processes, rng, duration=duration)
+                    for _ in range(ingest_batch_runs)
+                ]
+                t0 = time.perf_counter()
+                admin.ingest("bench", batch)
+                ingest_latencies.append(time.perf_counter() - t0)
+            admin.shutdown()
+    finally:
+        thread.join(timeout=30)
+    ingest_sorted = sorted(ingest_latencies)
+    return {
+        "query_p50_ms": level["p50_ms"],
+        "query_p95_ms": level["p95_ms"],
+        "ingest_p50_ms": _percentile(ingest_sorted, 0.50) * 1e3,
+    }
+
+
+def _journal_section(
+    runs: Sequence[Run],
+    processes: Sequence[str],
+    mix: list[dict[str, Any]],
+    *,
+    requests: int,
+    ingest_batches: int,
+    ingest_batch_runs: int,
+    duration: int,
+) -> dict[str, Any]:
+    """The journaling-overhead figures (the ``serve-journal`` gate input).
+
+    The query path never touches the journal -- the ratio pins that
+    invariant (a regression here means journal work leaked onto the
+    read path).  Ingest *does* pay for durability (one fsynced segment
+    per batch), so its overhead is recorded for audit but priced in.
+    """
+    common = {
+        "requests": requests,
+        "ingest_batches": ingest_batches,
+        "ingest_batch_runs": ingest_batch_runs,
+        "duration": duration,
+    }
+    off = _journal_mode(runs, processes, mix, journal_dir=None, **common)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        on = _journal_mode(runs, processes, mix, journal_dir=tmp, **common)
+    return {
+        "fsync": True,
+        "requests": requests,
+        "ingest_batches": ingest_batches,
+        "off": off,
+        "on": on,
+        "query_overhead": (
+            on["query_p50_ms"] / off["query_p50_ms"] if off["query_p50_ms"] else 0.0
+        ),
+        "ingest_overhead": (
+            on["ingest_p50_ms"] / off["ingest_p50_ms"]
+            if off["ingest_p50_ms"]
+            else 0.0
+        ),
+    }
+
+
 def run_serve_bench(
     *,
     n: int = 4,
@@ -227,6 +327,16 @@ def run_serve_bench(
     calibration_session = SystemSession("calibration", System(runs))
     direct = _direct_qps(calibration_session, mix, calibration_rounds)
 
+    journal = _journal_section(
+        runs,
+        processes,
+        mix,
+        requests=requests_per_client,
+        ingest_batches=ingest_batches,
+        ingest_batch_runs=ingest_batch_runs,
+        duration=duration,
+    )
+
     return {
         "benchmark": "serve-latency",
         "created": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
@@ -249,6 +359,7 @@ def run_serve_bench(
             "p50_ms": _percentile(ingest_sorted, 0.50) * 1e3,
             "p95_ms": _percentile(ingest_sorted, 0.95) * 1e3,
         },
+        "journal": journal,
         "calibration": {
             "direct_qps": direct,
             "rounds": calibration_rounds,

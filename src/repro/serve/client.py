@@ -2,8 +2,32 @@
 
 The wire protocol is newline-delimited JSON, so the client is a socket,
 a buffered reader, and a request counter.  It exists for tests, the
-serve benchmark, and scripted smoke sessions; any language with sockets
-and JSON can speak to the server without it.
+serve benchmark, the chaos soak, and scripted smoke sessions; any
+language with sockets and JSON can speak to the server without it.
+
+Robustness:
+
+* **Read timeouts.**  ``connect(..., timeout=)`` bounds the *whole*
+  connection, not just the TCP handshake: reads that stall past the
+  timeout raise :class:`ServeTimeout` (a typed
+  :class:`ServeClientError` with code ``timeout``) instead of hanging
+  forever.
+* **Bounded retry.**  Pass a :class:`~repro.runtime.RetryPolicy` and
+  the client retries with exponential backoff plus seeded jitter.
+  ``overloaded`` / ``deadline-exceeded`` / ``bad-checksum`` responses
+  are shed *before any work* server-side, so they are retried for every
+  op (honoring the server's ``retry_after_ms`` hint when it is larger
+  than the backoff).  Transport failures (timeout, reset, refused) are
+  retried -- with a reconnect -- only for ops that are safe to re-send
+  after partial execution: ``ping``/``info``/``query`` are read-only
+  and ``ingest`` is idempotent (the server's duplicate filter makes a
+  re-sent batch a no-op), while a re-sent ``create`` could collide with
+  its own first attempt, so it surfaces the transport error instead.
+* **End-to-end integrity.**  With ``checksum=True`` every request is
+  stamped with :func:`~repro.serve.protocol.wire_checksum` and every
+  response is verified, so bytes corrupted in flight (in either
+  direction) become structured, retryable errors rather than silently
+  wrong answers.
 
 Convenience encoders accept model-level objects (runs, formulas) and do
 the wire encoding on the client side, so test code reads at the level
@@ -16,7 +40,9 @@ of the paper's constructs::
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Iterable, Sequence
 
 from repro.columnar.arena import encode_runs
@@ -24,15 +50,46 @@ from repro.columnar.jsonio import arena_to_jsonable
 from repro.knowledge.formulas import Formula
 from repro.knowledge.wire import formula_to_jsonable
 from repro.model.run import Run
-from repro.serve.protocol import MAX_MESSAGE_BYTES, decode_message, encode_message
+from repro.runtime import RetryPolicy
+from repro.serve.protocol import (
+    MAX_MESSAGE_BYTES,
+    WireError,
+    decode_message,
+    encode_message,
+    verify_checksum,
+    wire_checksum,
+)
+
+#: Error codes that mean "the server shed this request before doing any
+#: work" -- safe to retry regardless of the operation.  ``bad-json``
+#: belongs here because a request this client sent was well-formed when
+#: it left: the server failing to parse it means the bytes were mangled
+#: in flight.
+SHED_ERROR_CODES = frozenset(
+    {"overloaded", "deadline-exceeded", "bad-checksum", "bad-json"}
+)
+
+#: Ops safe to re-send after a transport failure mid-request (the first
+#: attempt may or may not have executed): reads, plus idempotent ingest.
+RETRY_SAFE_OPS = frozenset({"ping", "info", "query", "ingest"})
 
 
 class ServeClientError(RuntimeError):
     """An ``ok: false`` response, surfaced with its wire error code."""
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self, code: str, message: str, *, retry_after_ms: int | None = None
+    ) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
+        self.retry_after_ms = retry_after_ms
+
+
+class ServeTimeout(ServeClientError):
+    """A request whose response did not arrive within the read timeout."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("timeout", message)
 
 
 def runs_to_arena_payload(runs: Iterable[Run]) -> dict[str, Any]:
@@ -94,19 +151,52 @@ def ck_query(
 class ServeClient:
     """One connection to an :class:`~repro.serve.server.EpistemicServer`."""
 
-    def __init__(self, sock: socket.socket) -> None:
-        self._sock = sock
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        retry: RetryPolicy | None = None,
+        checksum: bool = False,
+        retry_seed: int = 0,
+    ) -> None:
+        self._sock: socket.socket | None = sock
         self._reader = sock.makefile("rb")
+        self._retry = retry
+        self._checksum = checksum
+        # Seeded jitter: retry schedules are replayable per client.
+        self._rng = random.Random(f"repro-serve-client:{retry_seed}")
+        # Set by connect(); enables reconnect-on-transport-failure.
+        self._address: tuple[str, int] | None = None
+        self._timeout: float | None = sock.gettimeout()
 
     @classmethod
-    def connect(cls, host: str, port: int, *, timeout: float = 30.0) -> "ServeClient":
-        return cls(socket.create_connection((host, port), timeout=timeout))
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        checksum: bool = False,
+        retry_seed: int = 0,
+    ) -> "ServeClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        # create_connection's timeout governs the connect *and* stays as
+        # the socket timeout, but make the contract explicit: every read
+        # on this connection is bounded too (-> ServeTimeout), never a
+        # silent hang on a stalled server.
+        sock.settimeout(timeout)
+        client = cls(sock, retry=retry, checksum=checksum, retry_seed=retry_seed)
+        client._address = (host, port)
+        return client
 
     def close(self) -> None:
         try:
             self._reader.close()
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
+                self._sock = None
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -117,22 +207,109 @@ class ServeClient:
     # -- the wire ------------------------------------------------------------
 
     def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """One request -> its response dict; raises on ``ok: false``."""
-        response = self.request_raw(payload)
+        """One request -> its response dict; raises on ``ok: false``.
+
+        With a retry policy configured, sheddable failures are retried
+        (see the module docstring for the exact rules) before an error
+        is surfaced.
+        """
+        response = self._request_with_retry(payload)
         if not response.get("ok", False):
+            retry_after = response.get("retry_after_ms")
             raise ServeClientError(
                 str(response.get("error", "unknown")),
                 str(response.get("message", "")),
+                retry_after_ms=retry_after if isinstance(retry_after, int) else None,
             )
         return response
 
     def request_raw(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """One request -> its response dict, errors included."""
-        self._sock.sendall(encode_message(payload))
-        line = self._reader.readline(MAX_MESSAGE_BYTES + 2)
+        """One request -> its response dict, errors included (no retry)."""
+        if self._sock is None:
+            self._reconnect()
+            assert self._sock is not None
+        if self._checksum:
+            payload = dict(payload)
+            payload["checksum"] = wire_checksum(payload)
+        try:
+            self._sock.sendall(encode_message(payload))
+            line = self._reader.readline(MAX_MESSAGE_BYTES + 2)
+        except TimeoutError as exc:  # socket.timeout
+            raise ServeTimeout(
+                f"no response within {self._timeout}s for op "
+                f"{payload.get('op')!r}"
+            ) from exc
         if not line:
             raise ConnectionError("server closed the connection")
-        return decode_message(line)
+        try:
+            response = decode_message(line)
+        except WireError as exc:
+            # An unparseable response line means the stream may be
+            # desynchronized (e.g. a corrupted newline): treat it as a
+            # transport failure so the retry layer reconnects.
+            raise ConnectionError(f"undecodable response line: {exc.message}") from exc
+        if self._checksum and not verify_checksum(response):
+            # The response bytes were corrupted in flight; the op may
+            # or may not have executed -- same contract as a transport
+            # failure, so surface it as one.
+            raise ConnectionError("response checksum does not match its body")
+        return response
+
+    def _request_with_retry(self, payload: dict[str, Any]) -> dict[str, Any]:
+        attempts = self._retry.max_attempts if self._retry is not None else 1
+        op = payload.get("op")
+        for attempt in range(1, attempts + 1):
+            try:
+                response = self.request_raw(payload)
+            except (ServeTimeout, OSError):
+                # Transport failure: the request may have partially
+                # executed.  Only re-send when that is provably safe.
+                self._drop_connection()
+                if (
+                    attempt >= attempts
+                    or op not in RETRY_SAFE_OPS
+                    or self._address is None
+                ):
+                    raise
+                self._backoff(attempt, None)
+                continue
+            if (
+                response.get("ok", False)
+                or response.get("error") not in SHED_ERROR_CODES
+                or attempt >= attempts
+            ):
+                return response
+            # A shed: the server did no work, retry after its hint.
+            retry_after = response.get("retry_after_ms")
+            self._backoff(
+                attempt, retry_after if isinstance(retry_after, (int, float)) else None
+            )
+        raise AssertionError("unreachable: retry loop always returns or raises")
+
+    def _backoff(self, attempt: int, retry_after_ms: float | None) -> None:
+        delay = self._retry.delay(attempt, self._rng) if self._retry else 0.0
+        if retry_after_ms is not None:
+            delay = max(delay, float(retry_after_ms) / 1000.0)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _drop_connection(self) -> None:
+        try:
+            self.close()
+        except OSError:
+            pass
+
+    def _reconnect(self) -> None:
+        if self._address is None:
+            raise ConnectionError(
+                "connection lost and this client has no address to reconnect"
+            )
+        sock = socket.create_connection(
+            self._address, timeout=self._timeout if self._timeout else 30.0
+        )
+        sock.settimeout(self._timeout)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
 
     # -- operation helpers ---------------------------------------------------
 
@@ -169,12 +346,21 @@ class ServeClient:
         )
 
     def query_response(
-        self, system: str, queries: Sequence[dict[str, Any]]
+        self,
+        system: str,
+        queries: Sequence[dict[str, Any]],
+        *,
+        deadline_ms: int | None = None,
     ) -> dict[str, Any]:
         """The full query response envelope (completeness fields included)."""
-        return self.request(
-            {"op": "query", "system": system, "queries": list(queries)}
-        )
+        request: dict[str, Any] = {
+            "op": "query",
+            "system": system,
+            "queries": list(queries),
+        }
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        return self.request(request)
 
     def query(
         self, system: str, queries: Sequence[dict[str, Any]]

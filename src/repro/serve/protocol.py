@@ -24,17 +24,34 @@ Operations (see :mod:`repro.serve.state` for field semantics):
 ``query``    evaluate a batch of epistemic queries against one system
 ``ingest``   stream new runs (an arena payload) into a live system via
              incremental class refinement
-``shutdown`` stop the server after responding
+``shutdown`` stop the server after responding (graceful drain)
 ========== ===========================================================
 
 Error codes: ``bad-json``, ``bad-request``, ``unknown-op``,
 ``unknown-system``, ``duplicate-system``, ``not-found``,
 ``corrupt-entry``, ``no-cache``, ``bad-formula``, ``bad-point``,
-``bad-arena``, ``empty-system``, ``too-large``, ``internal``.
+``bad-arena``, ``empty-system``, ``too-large``, ``overloaded``,
+``deadline-exceeded``, ``bad-checksum``, ``internal``.
+
+Two codes carry extra machine-readable fields: ``overloaded`` responses
+include ``retry_after_ms`` (the server's backoff hint -- the admission
+queue is full and the request was shed before doing any work), and
+``deadline-exceeded`` marks work shed by the per-request cooperative
+deadline.  Both are *safe to retry*: a shed request had no effect.
+
+End-to-end integrity (optional): a request may carry a ``checksum``
+field -- :func:`wire_checksum` over the rest of the object.  The server
+verifies it (mismatch -> ``bad-checksum``, another retry-safe shed) and
+stamps the same checksum field onto its response so the client can
+detect bytes corrupted in flight in *either* direction.  The server and
+its clients are themselves processes over an unreliable channel; the
+checksum turns silent corruption into structured, retryable
+uncertainty, which is the only honest degradation mode.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -42,14 +59,24 @@ from typing import Any
 #: connection is answered with ``too-large`` and closed.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
+#: Hex digits of the sha256 kept in the ``checksum`` field.
+CHECKSUM_HEX_DIGITS = 16
+
 
 class WireError(Exception):
-    """A request that cannot be served, with its wire error code."""
+    """A request that cannot be served, with its wire error code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``extra`` carries machine-readable fields the error response must
+    include beside the code -- e.g. ``overloaded``'s ``retry_after_ms``.
+    """
+
+    def __init__(
+        self, code: str, message: str, *, extra: dict[str, Any] | None = None
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.extra = extra
 
 
 def encode_message(payload: dict[str, Any]) -> bytes:
@@ -70,11 +97,37 @@ def decode_message(line: bytes) -> dict[str, Any]:
     return payload
 
 
+def wire_checksum(payload: dict[str, Any]) -> str:
+    """Integrity checksum of a message: sha256 over its canonical
+    encoding with the ``checksum`` field itself excluded."""
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    serial = json.dumps(body, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(serial.encode("utf-8")).hexdigest()[:CHECKSUM_HEX_DIGITS]
+
+
+def verify_checksum(payload: dict[str, Any]) -> bool:
+    """True iff the payload's ``checksum`` field (if any) matches its body.
+
+    Messages without a checksum verify trivially -- integrity is an
+    opt-in protocol extension, not a version break.
+    """
+    recorded = payload.get("checksum")
+    if recorded is None:
+        return True
+    return isinstance(recorded, str) and recorded == wire_checksum(payload)
+
+
 def error_payload(
-    code: str, message: str, *, request: dict[str, Any] | None = None
+    code: str,
+    message: str,
+    *,
+    request: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """The standard error response shape (echoing the client tag)."""
     out: dict[str, Any] = {"ok": False, "error": code, "message": message}
+    if extra:
+        out.update(extra)
     if request is not None and "id" in request:
         out["id"] = request["id"]
     return out

@@ -6,14 +6,24 @@ intern table.  Interning matters: the model checker memoizes per
 ``Formula`` *instance*, so decoding the same wire payload to the same
 object keeps the local/point/temporal caches hot across requests.
 
-Online ingestion goes through :meth:`SystemSession.ingest`: the arena
-payload decodes to runs, duplicates (against the live run set and
-within the batch) are dropped, and :meth:`System.extend` derives the
-child system by incremental class refinement -- the history trie and
-per-process class tables grow in place of a from-scratch reindex, with
-answers pinned bit-identical to a rebuild by the differential tests.
-Each ingest bumps the session ``generation`` so clients can correlate
-answers with the run set that produced them.
+The session's system/checker/group/generation live together in one
+immutable :class:`SessionEpoch`.  Ingestion never mutates an epoch --
+it builds the next one (via :meth:`System.extend`'s incremental class
+refinement) and swaps a single reference -- so a query batch that
+captured an epoch keeps answering against a consistent system even
+while an ingest from another connection lands mid-batch, and every
+answer is attributable to the ``generation`` its envelope reports.
+
+Durability: when a :class:`~repro.serve.journal.ServeJournal` is
+attached, every mutating operation follows the write-ahead discipline
+-- *prepare* (validate and decode; all ``WireError`` rejections happen
+here, so nothing invalid is ever journaled), *journal* (durable append
+of the wire payload), *commit* (apply to live state).  The async server
+runs the journal step on an executor thread; the synchronous
+convenience methods (:meth:`ServeState.create` /
+:meth:`ServeState.ingest`) inline all three.  :meth:`ServeState.recover`
+replays the journals at boot through the same commit path, which is
+what makes recovered answers bit-identical to the pre-crash session's.
 
 All methods here are synchronous; the asyncio layer
 (:mod:`repro.serve.server`) shunts the disk-touching ones through an
@@ -23,6 +33,7 @@ executor so the event loop never blocks.
 from __future__ import annotations
 
 import warnings
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.columnar.arena import decode_runs
@@ -34,6 +45,7 @@ from repro.knowledge.wire import formula_from_jsonable, formula_wire_key
 from repro.model.events import ProcessId
 from repro.model.run import Point, Run
 from repro.model.system import IncompleteSystemWarning, System
+from repro.serve.journal import ServeJournal
 from repro.serve.protocol import WireError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,21 +78,66 @@ def _decode_arena_runs(payload: Any) -> tuple[Run, ...]:
         raise WireError("bad-arena", f"undecodable arena payload: {exc}") from exc
 
 
+class SessionEpoch:
+    """One consistent (system, checkers, generation) snapshot of a session.
+
+    Epochs are immutable after construction; an ingest builds the next
+    epoch and the session swaps one reference, so concurrent readers
+    holding an old epoch stay coherent.
+    """
+
+    __slots__ = ("system", "checker", "group", "generation")
+
+    def __init__(self, system: System, generation: int) -> None:
+        self.system = system
+        self.checker = ModelChecker(system)
+        self.group = GroupChecker(self.checker)
+        self.generation = generation
+
+
 class SystemSession:
     """One named system under service, plus its checkers and caches."""
 
     def __init__(
-        self, name: str, system: System, *, source: str = "inline"
+        self,
+        name: str,
+        system: System,
+        *,
+        source: str = "inline",
+        recovered: str | None = None,
     ) -> None:
         self.name = name
-        self.system = system
         self.source = source
-        self.generation = 0
+        #: None for a session built live; "full"/"partial" after a
+        #: journal replay (surfaced in every response envelope).
+        self.recovered = recovered
         self.queries_answered = 0
         self.runs_ingested = 0
-        self.checker = ModelChecker(system)
-        self.group = GroupChecker(self.checker)
+        self._epoch = SessionEpoch(system, 0)
         self._formulas: dict[str, Formula] = {}
+
+    # -- epoch access --------------------------------------------------------
+
+    @property
+    def epoch(self) -> SessionEpoch:
+        """The current epoch; capture once per batch for a stable view."""
+        return self._epoch
+
+    @property
+    def system(self) -> System:
+        return self._epoch.system
+
+    @property
+    def checker(self) -> ModelChecker:
+        return self._epoch.checker
+
+    @property
+    def group(self) -> GroupChecker:
+        return self._epoch.group
+
+    @property
+    def generation(self) -> int:
+        return self._epoch.generation
 
     # -- request-field decoding ---------------------------------------------
 
@@ -98,23 +155,25 @@ class SystemSession:
             self._formulas[key] = formula
         return formula
 
-    def _process(self, query: dict[str, Any], field: str = "process") -> ProcessId:
+    def _process(
+        self, epoch: SessionEpoch, query: dict[str, Any], field: str = "process"
+    ) -> ProcessId:
         process = query.get(field)
         if not isinstance(process, str):
             raise WireError("bad-request", f"query field {field!r} must be a string")
-        if process not in self.system.processes:
+        if process not in epoch.system.processes:
             raise WireError(
                 "bad-request",
                 f"unknown process {process!r}; system has "
-                f"{list(self.system.processes)}",
+                f"{list(epoch.system.processes)}",
             )
         return process
 
-    def _group(self, query: dict[str, Any]) -> list[ProcessId]:
+    def _group(self, epoch: SessionEpoch, query: dict[str, Any]) -> list[ProcessId]:
         group = query.get("group")
         if not isinstance(group, list) or not group:
             raise WireError("bad-request", "query field 'group' must be a non-empty list")
-        known = set(self.system.processes)
+        known = set(epoch.system.processes)
         members: list[ProcessId] = []
         for member in group:
             if not isinstance(member, str) or member not in known:
@@ -122,10 +181,10 @@ class SystemSession:
             members.append(member)
         return members
 
-    def _point(self, query: dict[str, Any]) -> Point:
+    def _point(self, epoch: SessionEpoch, query: dict[str, Any]) -> Point:
         run_index = query.get("run")
         time = query.get("time")
-        runs = self.system.runs
+        runs = epoch.system.runs
         if not isinstance(run_index, int) or isinstance(run_index, bool):
             raise WireError("bad-point", "query field 'run' must be an integer")
         if not 0 <= run_index < len(runs):
@@ -149,17 +208,21 @@ class SystemSession:
 
     # -- queries -------------------------------------------------------------
 
-    def run_query(self, query: Any) -> dict[str, Any]:
+    def run_query(
+        self, query: Any, epoch: SessionEpoch | None = None
+    ) -> dict[str, Any]:
         """Answer one query dict; never raises for per-query problems."""
         try:
-            return self._dispatch(query)
+            return self._dispatch(query, epoch or self._epoch)
         except WireError as exc:
             return {"ok": False, "error": exc.code, "message": exc.message}
 
-    def _dispatch(self, query: Any) -> dict[str, Any]:
+    def _dispatch(self, query: Any, epoch: SessionEpoch) -> dict[str, Any]:
         if not isinstance(query, dict):
             raise WireError("bad-request", "each query must be a JSON object")
         kind = query.get("kind")
+        checker = epoch.checker
+        group_checker = epoch.group
         # Sampled-system warnings surface structurally (the response
         # envelope's "complete"/"missing_runs" fields), not as Python
         # warnings inside the server process.
@@ -167,60 +230,64 @@ class SystemSession:
             warnings.simplefilter("ignore", IncompleteSystemWarning)
             if kind == "holds":
                 result: dict[str, Any] = {
-                    "result": self.checker.holds(self._formula(query), self._point(query))
+                    "result": checker.holds(
+                        self._formula(query), self._point(epoch, query)
+                    )
                 }
             elif kind == "knows":
-                process = self._process(query)
+                process = self._process(epoch, query)
                 formula = self._formula(query)
                 key = f"knows:{process}:{formula_wire_key(query['formula'])}"
                 wrapped = self._formulas.get(key)
                 if wrapped is None:
                     wrapped = Knows(process, formula)
                     self._formulas[key] = wrapped
-                result = {"result": self.checker.holds(wrapped, self._point(query))}
+                result = {"result": checker.holds(wrapped, self._point(epoch, query))}
             elif kind == "e":
-                group = self._group(query)
+                group = self._group(epoch, query)
                 depth = self._depth(query, "depth", 1)
                 formula = self._formula(query)
-                point = self._point(query)
+                point = self._point(epoch, query)
                 if depth == 0:
-                    value = self.checker.holds(formula, point)
+                    value = checker.holds(formula, point)
                 else:
                     value = (
-                        self.group.max_e_depth(group, formula, point, cap=depth)
+                        group_checker.max_e_depth(group, formula, point, cap=depth)
                         == depth
                     )
                 result = {"result": value}
             elif kind == "max_e_depth":
                 result = {
-                    "result": self.group.max_e_depth(
-                        self._group(query),
+                    "result": group_checker.max_e_depth(
+                        self._group(epoch, query),
                         self._formula(query),
-                        self._point(query),
+                        self._point(epoch, query),
                         cap=self._depth(query, "cap", 10),
                     )
                 }
             elif kind == "ck":
                 result = {
-                    "result": self.group.common_knowledge(
-                        self._group(query), self._formula(query), self._point(query)
+                    "result": group_checker.common_knowledge(
+                        self._group(epoch, query),
+                        self._formula(query),
+                        self._point(epoch, query),
                     )
                 }
             elif kind == "ck_points":
-                points = self.group.common_knowledge_points(
-                    self._group(query), self._formula(query)
+                points = group_checker.common_knowledge_points(
+                    self._group(epoch, query), self._formula(query)
                 )
                 result = {"result": [list(p) for p in sorted(points)]}
             elif kind == "known_crashed":
-                known = self.system.known_crashed_set(
-                    self._process(query), self._point(query)
+                known = epoch.system.known_crashed_set(
+                    self._process(epoch, query), self._point(epoch, query)
                 )
                 result = {"result": sorted(known)}
             elif kind == "valid":
-                witness = self.checker.counterexample(self._formula(query))
+                witness = checker.counterexample(self._formula(query))
                 counterexample: list[int] | None = None
                 if witness is not None:
-                    run_index = self.system.run_index(witness.run)
+                    run_index = epoch.system.run_index(witness.run)
                     assert run_index is not None  # counterexamples are in-system
                     counterexample = [run_index, witness.time]
                 result = {
@@ -238,39 +305,61 @@ class SystemSession:
 
     # -- online ingestion ----------------------------------------------------
 
-    def ingest(self, arena_payload: Any) -> dict[str, Any]:
-        """Fold an arena of new runs into the live system (refinement path)."""
+    def prepare_ingest(self, arena_payload: Any) -> tuple[Run, ...]:
+        """Validate and decode an ingest payload (the journal-safe step).
+
+        Every rejection a replay could deterministically re-hit happens
+        here, *before* the payload is journaled: nothing invalid is
+        ever written ahead.
+        """
         runs = _decode_arena_runs(arena_payload)
         if runs and runs[0].processes != self.system.processes:
             raise WireError(
                 "bad-arena",
                 "ingested runs are over a different process set than the system",
             )
-        seen = set(self.system.runs)
+        return runs
+
+    def apply_ingest(self, runs: tuple[Run, ...]) -> dict[str, Any]:
+        """Fold decoded runs into the live system (refinement path).
+
+        Duplicate filtering (against the live run set, then within the
+        batch, in order) is deterministic, so a journal replay of the
+        same payloads reconstructs the identical run sequence -- the
+        root of recovery bit-equality.
+        """
+        epoch = self._epoch
+        seen = set(epoch.system.runs)
         fresh: list[Run] = []
         for run in runs:
             if run not in seen:
                 seen.add(run)
                 fresh.append(run)
         if fresh:
-            system = self.system.extend(fresh)
-            self.system = system
-            self.checker = ModelChecker(system)
-            self.group = GroupChecker(self.checker)
-            self.generation += 1
+            system = epoch.system.extend(fresh)
+            self._epoch = SessionEpoch(system, epoch.generation + 1)
             self.runs_ingested += len(fresh)
         return {
             "added": len(fresh),
             "duplicates": len(runs) - len(fresh),
-            "runs": len(self.system.runs),
-            "generation": self.generation,
+            "runs": len(self._epoch.system.runs),
+            "generation": self._epoch.generation,
         }
+
+    def ingest(self, arena_payload: Any) -> dict[str, Any]:
+        """Decode + apply in one step (journal-free convenience).
+
+        Callers that need durability go through
+        :meth:`ServeState.ingest` (or the async server's prepared
+        path), which journals between the two steps.
+        """
+        return self.apply_ingest(self.prepare_ingest(arena_payload))
 
     # -- descriptors ---------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:
         system = self.system
-        return {
+        out = {
             "runs": len(system.runs),
             "points": system.point_count,
             "processes": list(system.processes),
@@ -282,22 +371,79 @@ class SystemSession:
             "queries_answered": self.queries_answered,
             "runs_ingested": self.runs_ingested,
         }
+        if self.recovered is not None:
+            out["recovered"] = self.recovered
+        return out
 
-    def envelope(self) -> dict[str, Any]:
+    def envelope(self, epoch: SessionEpoch | None = None) -> dict[str, Any]:
         """The completeness fields every query response carries."""
-        return {
+        epoch = epoch or self._epoch
+        out = {
             "system": self.name,
-            "generation": self.generation,
-            "complete": self.system.complete,
-            "missing_runs": self.system.missing_runs,
+            "generation": epoch.generation,
+            "complete": epoch.system.complete,
+            "missing_runs": epoch.system.missing_runs,
         }
+        if self.recovered is not None:
+            out["recovered"] = self.recovered
+        return out
+
+
+@dataclass(frozen=True)
+class PreparedCreate:
+    """A validated ``create``: claimed name, decoded runs, journal record."""
+
+    name: str
+    runs: tuple[Run, ...]
+    complete: bool
+    missing_runs: int
+    record: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class PreparedIngest:
+    """A validated ``ingest``: target session, decoded runs, journal record."""
+
+    session: SystemSession
+    runs: tuple[Run, ...]
+    record: dict[str, Any]
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`ServeState.recover` rebuilt (and what it could not)."""
+
+    #: (session name, "full" | "partial") per rebuilt session
+    recovered: list[tuple[str, str]] = field(default_factory=list)
+    #: (journal dirname, reason) per session that could not be rebuilt
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def partial(self) -> list[str]:
+        return [name for name, status in self.recovered if status == "partial"]
+
+    def summary(self) -> str:
+        full = len(self.recovered) - len(self.partial)
+        parts = [f"recovered {full} session(s)"]
+        if self.partial:
+            parts.append(f"{len(self.partial)} partial ({', '.join(self.partial)})")
+        if self.skipped:
+            parts.append(f"{len(self.skipped)} unrecoverable")
+        return ", ".join(parts)
 
 
 class ServeState:
-    """All sessions of one server, plus the optional RunCache behind ``load``."""
+    """All sessions of one server, plus the optional RunCache behind
+    ``load`` and the optional write-ahead journal behind durability."""
 
-    def __init__(self, cache: "RunCache | None" = None) -> None:
+    def __init__(
+        self,
+        cache: "RunCache | None" = None,
+        *,
+        journal: ServeJournal | None = None,
+    ) -> None:
         self.cache = cache
+        self.journal = journal
         self.sessions: dict[str, SystemSession] = {}
         self.op_counts: dict[str, int] = {}
         # Names claimed by in-flight loads (see claim/release below).
@@ -340,6 +486,67 @@ class ServeState:
         """Drop a claim whose load failed."""
         self._pending.discard(name)
 
+    # -- the write-ahead step ------------------------------------------------
+
+    def journal_append(self, record: dict[str, Any]) -> None:
+        """Durably journal one prepared record (no-op without a journal).
+
+        Blocking disk I/O: the async server calls this through an
+        executor, sync callers inline it.
+        """
+        if self.journal is None:
+            return
+        name = record.get("system")
+        assert isinstance(name, str)  # prepared records always carry it
+        self.journal.session(name).append(record)
+
+    # -- create ----------------------------------------------------------------
+
+    def prepare_create(
+        self,
+        name: Any,
+        arena_payload: Any,
+        *,
+        complete: bool = False,
+        missing_runs: int = 0,
+    ) -> PreparedCreate:
+        """Validate a ``create`` and claim its name (journal-safe step).
+
+        Balanced by :meth:`commit_create`, or :meth:`release` on a
+        journal failure in between.
+        """
+        name = self.claim(name)
+        try:
+            runs = _decode_arena_runs(arena_payload)
+            if not runs:
+                raise WireError("empty-system", "a system must contain at least one run")
+        except BaseException:
+            self.release(name)
+            raise
+        record = {
+            "op": "create",
+            "system": name,
+            "arena": arena_payload,
+            "complete": complete,
+            "missing_runs": missing_runs,
+        }
+        return PreparedCreate(name, runs, complete, missing_runs, record)
+
+    def commit_create(self, prepared: PreparedCreate) -> SystemSession:
+        """Register a prepared (and, if journaling, journaled) create."""
+        session = SystemSession(
+            prepared.name,
+            System(
+                prepared.runs,
+                complete=prepared.complete,
+                missing_runs=prepared.missing_runs,
+            ),
+            source="inline",
+        )
+        self.sessions[prepared.name] = session
+        self._pending.discard(prepared.name)
+        return session
+
     def create(
         self,
         name: Any,
@@ -348,18 +555,36 @@ class ServeState:
         complete: bool = False,
         missing_runs: int = 0,
     ) -> SystemSession:
-        """Register a system from an inline arena payload."""
-        name = self._claim_name(name)
-        runs = _decode_arena_runs(arena_payload)
-        if not runs:
-            raise WireError("empty-system", "a system must contain at least one run")
-        session = SystemSession(
-            name,
-            System(runs, complete=complete, missing_runs=missing_runs),
-            source="inline",
+        """Register a system from an inline arena payload (sync path)."""
+        prepared = self.prepare_create(
+            name, arena_payload, complete=complete, missing_runs=missing_runs
         )
-        self.sessions[name] = session
-        return session
+        try:
+            self.journal_append(prepared.record)
+        except BaseException:
+            self.release(prepared.name)
+            raise
+        return self.commit_create(prepared)
+
+    # -- ingest ----------------------------------------------------------------
+
+    def prepare_ingest(self, name: Any, arena_payload: Any) -> PreparedIngest:
+        """Validate an ``ingest`` against its session (journal-safe step)."""
+        session = self.session(name)
+        runs = session.prepare_ingest(arena_payload)
+        record = {"op": "ingest", "system": session.name, "arena": arena_payload}
+        return PreparedIngest(session, runs, record)
+
+    def commit_ingest(self, prepared: PreparedIngest) -> dict[str, Any]:
+        return prepared.session.apply_ingest(prepared.runs)
+
+    def ingest(self, name: Any, arena_payload: Any) -> dict[str, Any]:
+        """Decode, journal, and apply one ingest (sync path)."""
+        prepared = self.prepare_ingest(name, arena_payload)
+        self.journal_append(prepared.record)
+        return self.commit_ingest(prepared)
+
+    # -- load ------------------------------------------------------------------
 
     def load_digest(self, name: Any, digest: Any) -> SystemSession:
         """Claim ``name`` and load it from the cache (sync convenience)."""
@@ -377,8 +602,19 @@ class ServeState:
         -- the server calls this through an executor.  A corrupt entry
         degrades gracefully: the cache quarantines it and the recorded
         reason comes back as a ``corrupt-entry`` error instead of a bare
-        miss.
+        miss.  With journaling on, the (name, digest) pair is journaled
+        before the session becomes visible.
         """
+        session = self._load_session(name, digest)
+        self.journal_append(
+            {"op": "load", "system": name, "digest": digest}
+        )
+        self.sessions[name] = session
+        self._pending.discard(name)
+        return session
+
+    def _load_session(self, name: str, digest: Any) -> SystemSession:
+        """The cache lookup + session construction behind ``load``."""
         if self.cache is None:
             raise WireError("no-cache", "server was started without a run cache")
         if not isinstance(digest, str) or not digest:
@@ -397,21 +633,98 @@ class ServeState:
             raise WireError("empty-system", f"cached exploration {digest} has no runs")
         # Only exhaustive explorations are ever cached, so the loaded
         # system is complete by construction.
-        session = SystemSession(
+        return SystemSession(
             name,
             System(entry.runs, complete=True),
             source=f"cache:{digest}",
         )
-        self.sessions[name] = session
-        self._pending.discard(name)
-        return session
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Rebuild sessions from the journal (boot-time crash recovery).
+
+        Each journal's verified record prefix replays through the same
+        decode/apply path that built the session live, so recovered
+        answers are bit-identical to the uninterrupted session's.  A
+        journal with a corrupt tail yields a *partial* session
+        (``recovered: "partial"`` in its envelopes); a journal whose
+        base record is unusable yields a skipped entry in the report --
+        never an exception.
+        """
+        report = RecoveryReport()
+        if self.journal is None:
+            return report
+        for session_journal in self.journal.discover():
+            dirname = session_journal.directory.name
+            replay = session_journal.replay()
+            if not replay.records:
+                if replay.status != "empty" or replay.reason is not None:
+                    report.skipped.append(
+                        (dirname, replay.reason or "no verifiable records")
+                    )
+                continue
+            status = replay.status
+            try:
+                session, applied_all = self._replay_session(replay.records)
+            except WireError as exc:
+                report.skipped.append((dirname, f"{exc.code}: {exc.message}"))
+                continue
+            if not applied_all:
+                status = "partial"
+            session.recovered = status
+            self.sessions[session.name] = session
+            report.recovered.append((session.name, status))
+        return report
+
+    def _replay_session(
+        self, records: list[dict[str, Any]]
+    ) -> tuple[SystemSession, bool]:
+        """One session from its journal records; returns (session, applied_all)."""
+        base = records[0]
+        op = base.get("op")
+        name = base.get("system")
+        if not isinstance(name, str) or not name:
+            raise WireError("bad-request", "journal base record has no session name")
+        if op == "create":
+            runs = _decode_arena_runs(base.get("arena"))
+            if not runs:
+                raise WireError("empty-system", "journaled create has no runs")
+            session = SystemSession(
+                name,
+                System(
+                    runs,
+                    complete=bool(base.get("complete", False)),
+                    missing_runs=int(base.get("missing_runs", 0)),
+                ),
+                source="inline",
+            )
+        elif op == "load":
+            session = self._load_session(name, base.get("digest"))
+        else:
+            raise WireError(
+                "bad-request", f"journal base record has op {op!r}, not create/load"
+            )
+        for record in records[1:]:
+            if record.get("op") != "ingest":
+                return session, False
+            try:
+                session.apply_ingest(session.prepare_ingest(record.get("arena")))
+            except WireError:
+                # Validated before journaling, so only environmental
+                # drift (e.g. a changed cache) lands here: keep the
+                # prefix, surface partial.
+                return session, False
+        return session, True
+
+    # -- descriptors -----------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:
         """The ``info`` op payload."""
         cache_digests: list[str] = []
         if self.cache is not None:
             cache_digests = list(self.cache.exploration_digests())
-        return {
+        out = {
             "systems": {
                 name: session.describe()
                 for name, session in sorted(self.sessions.items())
@@ -420,3 +733,6 @@ class ServeState:
             "op_counts": dict(sorted(self.op_counts.items())),
             "query_kinds": list(QUERY_KINDS),
         }
+        if self.journal is not None:
+            out["journal"] = self.journal.describe()
+        return out

@@ -1,0 +1,41 @@
+# repro: lint-module[repro.serve.fixture_asy002]
+"""Known-bad fixture: ASY002 fire-and-forget tasks in serve code."""
+
+import asyncio
+from asyncio import ensure_future
+
+
+async def _watch() -> None:
+    await asyncio.sleep(0)
+
+
+async def spawn_and_lose() -> None:
+    asyncio.create_task(_watch())  # expect: ASY002
+    ensure_future(_watch())  # expect: ASY002
+    _ = asyncio.create_task(_watch())  # expect: ASY002
+    loop = asyncio.get_running_loop()
+    loop.create_task(_watch())  # expect: ASY002
+
+
+async def retained() -> None:
+    # Sanctioned: handles retained, awaited, or tracked with a callback.
+    task = asyncio.create_task(_watch())
+    await task
+    tasks: set[asyncio.Task[None]] = set()
+    tracked = asyncio.create_task(_watch())
+    tasks.add(tracked)
+    tracked.add_done_callback(tasks.discard)
+    await asyncio.gather(*tasks)
+
+
+async def task_group_is_fine() -> None:
+    # A TaskGroup retains its children itself: discarding the handle
+    # is safe, and ASY002 deliberately exempts it.
+    async with asyncio.TaskGroup() as tg:
+        tg.create_task(_watch())
+
+
+async def acknowledged() -> None:
+    # Suppression hygiene: a deliberate fire-and-forget is an explicit,
+    # greppable opt-out -- never the default.
+    asyncio.create_task(_watch())  # repro: lint-ok[ASY002]

@@ -42,6 +42,16 @@ The gate dispatches on the ``benchmark`` field of the committed file
     the bands on a slower machine, never tightens them on a faster
     one.  Socket latency is noisy on shared CI runners, so this gate
     is usually run with a looser ``--tolerance`` (0.5 in CI).
+
+``--mode serve-journal`` (BENCH_serve.json)
+    Gates the journaling overhead recorded in the ``journal`` section:
+    journal-on query p50 must stay within the tolerance (default 15%)
+    of journal-off.  The ratio is measured within one process on one
+    machine, so no normalization applies and the *fresh* file alone is
+    gated (the committed file's ratio is printed for reference).  The
+    query path never touches the journal -- a breach means journal
+    work leaked onto the read path.  Ingest durability overhead (one
+    fsynced segment per batch) is printed for audit but not gated.
 """
 
 from __future__ import annotations
@@ -244,11 +254,60 @@ def check_serve(committed: dict, fresh: dict, args: argparse.Namespace) -> int:
     return 0
 
 
+def check_serve_journal(
+    committed: dict, fresh: dict, args: argparse.Namespace
+) -> int:
+    for name, payload in (("committed", committed), ("fresh", fresh)):
+        journal = payload.get("journal")
+        if not journal:
+            sys.exit(f"{name} payload lacks a journal section")
+        for mode in ("off", "on"):
+            if not journal.get(mode, {}).get("query_p50_ms"):
+                sys.exit(f"{name} journal section lacks {mode}.query_p50_ms")
+
+    committed_j = committed["journal"]
+    fresh_j = fresh["journal"]
+    committed_ratio = (
+        committed_j["on"]["query_p50_ms"] / committed_j["off"]["query_p50_ms"]
+    )
+    fresh_ratio = fresh_j["on"]["query_p50_ms"] / fresh_j["off"]["query_p50_ms"]
+    ceiling = 1.0 + args.tolerance
+    print(
+        f"serve journal query p50: on {fresh_j['on']['query_p50_ms']:.2f} ms / "
+        f"off {fresh_j['off']['query_p50_ms']:.2f} ms = {fresh_ratio:.3f}x "
+        f"(ceiling {ceiling:.2f}x; committed ratio {committed_ratio:.3f}x)"
+    )
+    ingest_on = fresh_j["on"].get("ingest_p50_ms", 0.0)
+    ingest_off = fresh_j["off"].get("ingest_p50_ms", 0.0)
+    if ingest_on and ingest_off:
+        print(
+            f"serve journal ingest p50 (informational, fsync="
+            f"{fresh_j.get('fsync')}): on {ingest_on:.2f} ms / "
+            f"off {ingest_off:.2f} ms = {ingest_on / ingest_off:.3f}x"
+        )
+    if fresh_ratio > ceiling:
+        print(
+            f"REGRESSION: journal-on query p50 is {fresh_ratio:.3f}x "
+            f"journal-off (> {ceiling:.2f}x): journal work on the read path",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("committed", type=Path)
     parser.add_argument("fresh", type=Path)
     parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument(
+        "--mode",
+        choices=("auto", "serve-journal"),
+        default="auto",
+        help="auto: dispatch on the benchmark field; serve-journal: gate "
+        "the journaling-overhead section of a serve-latency payload",
+    )
     args = parser.parse_args(argv)
 
     committed = _load(args.committed)
@@ -259,6 +318,10 @@ def main(argv: list[str] | None = None) -> int:
             f"benchmark kind mismatch: committed {kind!r} vs "
             f"fresh {fresh.get('benchmark')!r}"
         )
+    if args.mode == "serve-journal":
+        if kind != "serve-latency":
+            sys.exit(f"--mode serve-journal needs a serve-latency payload, got {kind!r}")
+        return check_serve_journal(committed, fresh, args)
     if kind == "epistemic-kernel":
         return check_kernel(committed, fresh, args)
     if kind == "explore-enumeration":
