@@ -1,0 +1,92 @@
+"""Committed-baseline workflow for adopting new rules gradually.
+
+A baseline file records the findings a team has reviewed and accepted
+(or not yet fixed); a lint run with ``--baseline`` reports only
+findings *not* in the baseline, so a freshly-landed rule can gate CI on
+regressions immediately while its backlog is burned down.
+
+Matching is a multiset over ``(file, rule, message)`` — deliberately
+*not* line numbers, so unrelated edits that shift a waived finding a
+few lines do not resurrect it, while a second identical violation in
+the same file does surface (the multiset only absorbs as many as were
+recorded).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from .findings import LintFinding
+
+BASELINE_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+def _key(finding: LintFinding) -> _Key:
+    return (finding.file, finding.rule, finding.message)
+
+
+def load_baseline(path: Path) -> Counter[_Key]:
+    """The baseline as a multiset; raises ``ValueError`` on bad files."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported layout (want version "
+            f"{BASELINE_VERSION})"
+        )
+    entries = raw.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} has no entries list")
+    out: Counter[_Key] = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline {path} has a non-object entry")
+        try:
+            out[(str(entry["file"]), str(entry["rule"]), str(entry["message"]))] += 1
+        except KeyError as exc:
+            raise ValueError(
+                f"baseline {path} entry is missing {exc}"
+            ) from exc
+    return out
+
+
+def apply_baseline(
+    findings: Sequence[LintFinding], baseline: Counter[_Key]
+) -> tuple[tuple[LintFinding, ...], int]:
+    """(findings not absorbed by the baseline, number absorbed)."""
+    budget = Counter(baseline)
+    fresh: list[LintFinding] = []
+    absorbed = 0
+    for finding in findings:
+        key = _key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            absorbed += 1
+        else:
+            fresh.append(finding)
+    return tuple(fresh), absorbed
+
+
+def write_baseline(path: Path, findings: Sequence[LintFinding]) -> None:
+    """Record the current findings as the accepted baseline."""
+    entries = sorted(
+        (
+            {"file": f.file, "rule": f.rule, "message": f.message}
+            for f in findings
+        ),
+        key=lambda e: (e["file"], e["rule"], e["message"]),
+    )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

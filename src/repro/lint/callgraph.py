@@ -1,0 +1,275 @@
+"""Phase-2 call graph over the :class:`~repro.lint.project.ProjectIndex`.
+
+Nodes are global function names (``<module-key>::<qualname>``); edges
+come from resolving each recorded :class:`~repro.lint.project.CallSite`
+reference against the index:
+
+- bare names resolve to sibling nested functions, then module-level
+  functions, then imported project functions, then local classes
+  (a constructor call edges to ``Class.__init__`` when it exists);
+- ``self.m()`` / ``cls.m()`` resolve through the enclosing class and
+  its resolvable base-class chain;
+- ``self.<attr>.<m>()`` resolves when ``__init__`` recorded a class
+  annotation for the attribute (``self.state = state`` with
+  ``state: ServeState``);
+- ``obj.m()`` resolves when ``obj`` carries a recorded local type
+  (parameter annotation, ``x: T`` annotation, or ``x = SomeClass(...)``);
+- dotted chains rooted at an import (``mod.f()``, ``pkg.Class.m()``)
+  resolve module-by-module.
+
+Anything else — dynamic dispatch, ``getattr``, re-exported names the
+index cannot see — resolves to ``None`` and produces *no* edge: the
+effect fixpoint under-approximates behind unresolved calls rather than
+guessing (DESIGN.md §16 records the caveat).
+
+The executor cut falls out structurally: a callable *passed* to
+``run_in_executor``/``to_thread`` is never a call expression, so no
+edge links the shipping coroutine to the thunk, and blocking effects
+cannot flow back onto the event loop through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .project import (
+    CallSite,
+    ClassDecl,
+    FileSummary,
+    ProjectIndex,
+    Ref,
+)
+
+#: base-class resolution depth bound (defensive; real chains are short)
+_MAX_BASE_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call: ``caller`` invokes ``callee`` at a source site."""
+
+    caller: str  # global function name (or "<module-key>::" for top level)
+    callee: str  # global function name
+    site: CallSite
+    file: str  # display path of the call site
+
+
+class CallGraph:
+    """Resolved call edges plus reverse adjacency for the fixpoint."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.edges: list[CallEdge] = []
+        self.out_edges: dict[str, list[CallEdge]] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        for summary in self.index.summaries:
+            key = ProjectIndex.module_key(summary)
+            for site in summary.calls:
+                callee = self.resolve(summary, site.caller, site.ref)
+                if callee is None:
+                    continue
+                caller = f"{key}::{site.caller}" if site.caller else f"{key}::"
+                edge = CallEdge(
+                    caller=caller,
+                    callee=callee,
+                    site=site,
+                    file=summary.display_path,
+                )
+                self.edges.append(edge)
+                self.out_edges.setdefault(caller, []).append(edge)
+        for edges in self.out_edges.values():
+            edges.sort(key=lambda e: (e.site.line, e.site.col, e.callee))
+
+    # -- reference resolution ------------------------------------------------
+
+    def resolve(
+        self, summary: FileSummary, caller: str | None, ref: Ref
+    ) -> str | None:
+        """Global function name a reference resolves to, if any."""
+        if ref.kind == "name":
+            return self._resolve_name(summary, caller, ref.parts[0])
+        if ref.kind == "self":
+            return self._resolve_method_on(
+                summary, self._caller_class(summary, caller), ref.parts[0]
+            )
+        if ref.kind == "typed":
+            type_text, method = ref.parts
+            located = self._resolve_class_text(summary, type_text)
+            if located is None:
+                return None
+            return self._resolve_method_on(located[0], located[1], method)
+        if ref.kind == "attr":
+            return self._resolve_attr(summary, caller, ref.parts)
+        return None
+
+    def _caller_class(
+        self, summary: FileSummary, caller: str | None
+    ) -> ClassDecl | None:
+        if caller is None:
+            return None
+        gqn = f"{ProjectIndex.module_key(summary)}::{caller}"
+        decl = self.index.functions.get(gqn)
+        if decl is None or decl.class_name is None:
+            return None
+        return self._class_in(summary, decl.class_name)
+
+    def _class_in(self, summary: FileSummary, name: str) -> ClassDecl | None:
+        key = f"{ProjectIndex.module_key(summary)}::{name}"
+        return self.index.classes.get(key)
+
+    def _resolve_name(
+        self, summary: FileSummary, caller: str | None, name: str
+    ) -> str | None:
+        key = ProjectIndex.module_key(summary)
+        # 1. nested function of the enclosing function
+        if caller is not None:
+            nested = f"{key}::{caller}.<locals>.{name}"
+            if nested in self.index.functions:
+                return nested
+        # 2. module-level function in the same file
+        local = f"{key}::{name}"
+        if local in self.index.functions:
+            return local
+        # 3. local class: a constructor call edges to __init__
+        klass = self._class_in(summary, name)
+        if klass is not None:
+            return self._resolve_method_on(summary, klass, "__init__")
+        # 4. imported project symbol
+        origin = summary.import_map().get(name)
+        if origin is not None:
+            return self._resolve_dotted(origin)
+        return None
+
+    def _resolve_attr(
+        self, summary: FileSummary, caller: str | None, parts: tuple[str, ...]
+    ) -> str | None:
+        root = parts[0]
+        if root == "self" and len(parts) == 3:
+            # self.<attr>.<method>() via the recorded attribute type
+            klass = self._caller_class(summary, caller)
+            if klass is None:
+                return None
+            attr_types = dict(klass.attr_types)
+            type_text = attr_types.get(parts[1])
+            if type_text is None:
+                return None
+            located = self._resolve_class_text(summary, type_text)
+            if located is None:
+                return None
+            return self._resolve_method_on(located[0], located[1], parts[2])
+        imports = summary.import_map()
+        base = imports.get(root)
+        if base is None:
+            return None
+        return self._resolve_dotted(".".join((base, *parts[1:])))
+
+    def _resolve_dotted(self, dotted: str, depth: int = 0) -> str | None:
+        """A fully dotted path → function, method, or class constructor."""
+        if depth > _MAX_BASE_DEPTH:
+            return None  # re-export cycle: give up rather than recurse
+        # Longest module prefix wins: "repro.a.b.f" may be module
+        # "repro.a.b" attr "f" or module "repro.a" attrs "b.f".
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            summary = self.index.modules.get(module)
+            if summary is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                name = f"{module}::{rest[0]}"
+                if name in self.index.functions:
+                    return name
+                klass = self._class_in(summary, rest[0])
+                if klass is not None:
+                    return self._resolve_method_on(summary, klass, "__init__")
+                # Re-exported name: follow the module's own import of it.
+                onward = summary.import_map().get(rest[0])
+                if onward is not None and onward != dotted:
+                    return self._resolve_dotted(onward, depth + 1)
+                return None
+            if len(rest) == 2:
+                klass = self._class_in(summary, rest[0])
+                if klass is not None:
+                    return self._resolve_method_on(summary, klass, rest[1])
+                name = f"{module}::{'.'.join(rest)}"
+                if name in self.index.functions:
+                    return name
+            return None
+        return None
+
+    def _resolve_class_text(
+        self, summary: FileSummary, type_text: str
+    ) -> tuple[FileSummary, ClassDecl] | None:
+        """A dotted class annotation → (owning summary, class decl)."""
+        leaf = type_text.split(".")[-1]
+        klass = self._class_in(summary, type_text)
+        if klass is not None:
+            return summary, klass
+        if "." not in type_text:
+            origin = summary.import_map().get(type_text)
+            if origin is not None:
+                return self._locate_class(origin)
+            return None
+        imports = summary.import_map()
+        root = type_text.split(".")[0]
+        base = imports.get(root)
+        if base is not None:
+            return self._locate_class(
+                ".".join((base, *type_text.split(".")[1:]))
+            )
+        # Fall back to the bare leaf in the same module.
+        klass = self._class_in(summary, leaf)
+        if klass is not None:
+            return summary, klass
+        return None
+
+    def _locate_class(
+        self, dotted: str, depth: int = 0
+    ) -> tuple[FileSummary, ClassDecl] | None:
+        if depth > _MAX_BASE_DEPTH:
+            return None
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            summary = self.index.modules.get(module)
+            if summary is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) != 1:
+                return None
+            klass = self._class_in(summary, rest[0])
+            if klass is not None:
+                return summary, klass
+            onward = summary.import_map().get(rest[0])
+            if onward is not None and onward != dotted:
+                return self._locate_class(onward, depth + 1)
+            return None
+        return None
+
+    def _resolve_method_on(
+        self,
+        summary: FileSummary,
+        klass: ClassDecl | None,
+        method: str,
+        depth: int = 0,
+    ) -> str | None:
+        """A method on a class, walking resolvable bases transitively."""
+        if klass is None or depth > _MAX_BASE_DEPTH:
+            return None
+        if method in klass.methods:
+            return f"{ProjectIndex.module_key(summary)}::{klass.name}.{method}"
+        for base_text in klass.bases:
+            located = self._resolve_class_text(summary, base_text)
+            if located is None:
+                continue
+            found = self._resolve_method_on(
+                located[0], located[1], method, depth + 1
+            )
+            if found is not None:
+                return found
+        return None

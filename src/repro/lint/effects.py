@@ -1,0 +1,196 @@
+"""The effect lattice and its fixpoint over the call graph.
+
+Each function node carries a set of *effects* — facts that flow from
+callee to caller until nothing changes:
+
+- ``blocking``: the function may block the calling thread (sleep,
+  subprocess, synchronous file/socket I/O);
+- ``entropy``: it may draw ambient, unreplayable randomness (global
+  ``random`` API, ``os.urandom``, ``uuid4``, ``secrets``);
+- ``wall-clock``: it may read the wall clock;
+- ``unpicklable``: *calling it* may yield a value that cannot pickle
+  (it returns a lambda, a local-class instance, an open handle, or a
+  lock).
+
+Propagation is effect-specific: ``blocking``/``entropy``/``wall-clock``
+flow along every resolved call edge; ``unpicklable`` flows only along
+*return-position* calls (``return helper()``), because an unpicklable
+value a callee merely used internally never escapes into the caller's
+result.  Executor-shipped thunks produce no edge at all (the cut is
+structural, see :mod:`repro.lint.callgraph`), so a coroutine that
+off-loads blocking work stays clean.
+
+The fixpoint records, per ``(function, effect)``, the deterministic
+witness edge it arrived through — lexicographically smallest
+``(line, col, callee)`` — so rules can print the full chain down to the
+intrinsic source (``handler → _flush → time.sleep``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .callgraph import CallEdge, CallGraph
+from .project import IntrinsicEffect, ProjectIndex
+
+#: the effect alphabet, in reporting order
+EFFECTS = ("blocking", "entropy", "unpicklable", "wall-clock")
+
+
+@dataclass(frozen=True)
+class EffectWitness:
+    """Why a function has an effect: an intrinsic site or a call edge."""
+
+    effect: str
+    #: the callee the effect arrived through; None at the intrinsic site
+    via: str | None
+    #: intrinsic detail ("time.sleep", "returns a lambda") at the root
+    detail: str
+    file: str
+    line: int
+    col: int
+
+
+class EffectAnalysis:
+    """Effects of every function in the project, after the fixpoint."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        #: function gqn -> effect -> witness
+        self.effects: dict[str, dict[str, EffectWitness]] = {}
+        self._run()
+
+    # -- queries -------------------------------------------------------------
+
+    def effect_of(self, gqn: str, effect: str) -> EffectWitness | None:
+        return self.effects.get(gqn, {}).get(effect)
+
+    def has_effect(self, gqn: str, effect: str) -> bool:
+        return effect in self.effects.get(gqn, {})
+
+    def chain(self, gqn: str, effect: str, limit: int = 12) -> list[EffectWitness]:
+        """The witness path from ``gqn`` down to the intrinsic source."""
+        out: list[EffectWitness] = []
+        seen: set[str] = set()
+        cur: str | None = gqn
+        while cur is not None and cur not in seen and len(out) < limit:
+            seen.add(cur)
+            witness = self.effect_of(cur, effect)
+            if witness is None:
+                break
+            out.append(witness)
+            cur = witness.via
+        return out
+
+    def describe_chain(self, gqn: str, effect: str) -> str:
+        """Human-readable ``a -> b -> time.sleep`` chain description."""
+        chain = self.chain(gqn, effect)
+        if not chain:
+            return ""
+        hops = [
+            _short_name(witness.via) for witness in chain if witness.via is not None
+        ]
+        root = chain[-1].detail
+        path = " -> ".join([*hops, root]) if hops else root
+        return path
+
+    # -- the fixpoint --------------------------------------------------------
+
+    def _run(self) -> None:
+        # Seed with intrinsic effects, smallest site first so the
+        # recorded witness is deterministic.
+        for summary in self.index.summaries:
+            key = ProjectIndex.module_key(summary)
+            for intrinsic in sorted(
+                summary.intrinsics, key=lambda i: (i.line, i.col, i.effect)
+            ):
+                gqn = self._node(key, intrinsic)
+                bucket = self.effects.setdefault(gqn, {})
+                if intrinsic.effect not in bucket:
+                    bucket[intrinsic.effect] = EffectWitness(
+                        effect=intrinsic.effect,
+                        via=None,
+                        detail=intrinsic.detail,
+                        file=summary.display_path,
+                        line=intrinsic.line,
+                        col=intrinsic.col,
+                    )
+        # Iterate to fixpoint.  The lattice is finite (4 effects x N
+        # functions) and propagation is monotone, so this terminates;
+        # processing callers in sorted order with per-caller minimal
+        # witness edges keeps the result order-independent.
+        changed = True
+        while changed:
+            changed = False
+            for caller in sorted(self.graph.out_edges):
+                for edge in self.graph.out_edges[caller]:
+                    callee_effects = self.effects.get(edge.callee)
+                    if not callee_effects:
+                        continue
+                    for effect in EFFECTS:
+                        if effect not in callee_effects:
+                            continue
+                        if not _propagates(effect, edge):
+                            continue
+                        bucket = self.effects.setdefault(caller, {})
+                        witness = EffectWitness(
+                            effect=effect,
+                            via=edge.callee,
+                            detail=callee_effects[effect].detail,
+                            file=edge.file,
+                            line=edge.site.line,
+                            col=edge.site.col,
+                        )
+                        incumbent = bucket.get(effect)
+                        if incumbent is None or _better(witness, incumbent):
+                            bucket[effect] = witness
+                            changed = True
+                        elif (
+                            incumbent.via == witness.via
+                            and incumbent.line == witness.line
+                            and incumbent.col == witness.col
+                            and incumbent.detail != witness.detail
+                        ):
+                            # Same witness edge, callee's root detail
+                            # refined later in the fixpoint: keep the
+                            # chain description coherent.
+                            bucket[effect] = witness
+                            changed = True
+
+    @staticmethod
+    def _node(module_key: str, intrinsic: IntrinsicEffect) -> str:
+        if intrinsic.function is None:
+            return f"{module_key}::"
+        return f"{module_key}::{intrinsic.function}"
+
+
+def _propagates(effect: str, edge: CallEdge) -> bool:
+    if effect == "unpicklable":
+        return edge.site.in_return
+    return True
+
+
+def _better(candidate: EffectWitness, incumbent: EffectWitness) -> bool:
+    """Deterministic witness preference: intrinsic beats propagated,
+    then smallest (line, col, via)."""
+    if (incumbent.via is None) != (candidate.via is None):
+        return incumbent.via is not None and candidate.via is None
+    return (candidate.line, candidate.col, candidate.via or "") < (
+        incumbent.line,
+        incumbent.col,
+        incumbent.via or "",
+    )
+
+
+def _short_name(gqn: str) -> str:
+    """``repro.serve.state::ServeState.claim`` -> ``ServeState.claim``."""
+    if "::" in gqn:
+        module, _, qual = gqn.partition("::")
+        return qual or module
+    return gqn
+
+
+def analyze(index: ProjectIndex) -> EffectAnalysis:
+    """Build the call graph and run the effect fixpoint."""
+    return EffectAnalysis(index, CallGraph(index))

@@ -1,28 +1,51 @@
-"""Lint engine: walk files, run rules, apply suppressions, report.
+"""Lint engine: two-phase whole-program analysis with incremental reuse.
+
+Phase 1 parses each file once, runs the per-file rules, and extracts a
+:class:`~repro.lint.project.FileSummary`; with a cache directory, files
+whose bytes are unchanged skip this phase entirely (their summaries and
+findings come from disk), and fresh parses run on a small thread pool.
+Phase 2 joins every summary into the
+:class:`~repro.lint.project.ProjectIndex`, builds the call graph, runs
+the effect fixpoint, and evaluates the whole-program rules — always
+recomputed, so an edit to one helper updates transitive findings in
+files that were never re-parsed.
 
 The engine is deterministic end to end: files are discovered in sorted
 order, findings are sorted by ``(file, line, col, rule)``, and the JSON
-form has stable key order — so CI diffs and golden tests are exact.
+form has stable key order — so CI diffs and golden tests are exact, and
+a warm run's JSON output is byte-identical to a cold run's.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
+from .cache import AnalysisCache, file_digest
 from .context import ModuleUnderLint
+from .effects import analyze
 from .findings import LintFinding, Severity
-from .registry import Rule, select_rules
+from .project import FileSummary, ProjectIndex, summarize
+from .registry import ProjectRule, Rule, select_rules
 
 
 @dataclass(frozen=True)
 class LintReport:
-    """The outcome of one lint run."""
+    """The outcome of one lint run.
+
+    ``cache_hits``/``files_reparsed`` are run diagnostics, deliberately
+    excluded from :meth:`as_dict`: JSON output must be byte-identical
+    between a cold and a warm run over identical sources.
+    """
 
     findings: tuple[LintFinding, ...]
     files_scanned: int
     parse_errors: tuple[str, ...] = field(default=())
+    cache_hits: int = 0
+    files_reparsed: int = 0
 
     @property
     def errors(self) -> tuple[LintFinding, ...]:
@@ -76,42 +99,196 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
-def lint_file(
-    path: Path, rules: tuple[Rule, ...]
-) -> tuple[list[LintFinding], str | None]:
-    """Lint one file; returns (findings, parse-error-or-None)."""
-    display = _display_path(path)
+@dataclass
+class _FileResult:
+    """Phase-1 outcome for one file, cached or freshly parsed."""
+
+    display: str
+    sha256: str
+    summary: FileSummary | None
+    findings: tuple[LintFinding, ...]
+    parse_error: str | None
+    from_cache: bool
+
+
+def _split_rules(
+    rules: tuple[Rule, ...]
+) -> tuple[tuple[Rule, ...], tuple[ProjectRule, ...]]:
+    file_rules = tuple(r for r in rules if not isinstance(r, ProjectRule))
+    project_rules = tuple(r for r in rules if isinstance(r, ProjectRule))
+    return file_rules, project_rules
+
+
+def _parse_one(
+    path: Path,
+    display: str,
+    sha256: str,
+    source: str,
+    file_rules: tuple[Rule, ...],
+) -> _FileResult:
+    """Parse, run the per-file rules, and summarize one file."""
     try:
-        source = path.read_text(encoding="utf-8")
         mod = ModuleUnderLint(path, display, source)
-    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-        return [], f"{display}: {exc}"
+    except SyntaxError as exc:
+        return _FileResult(display, sha256, None, (), f"{display}: {exc}", False)
     findings: list[LintFinding] = []
-    for rule in rules:
+    for rule in file_rules:
         for finding in rule.check(mod):
             if not mod.suppressed(finding.rule, finding.line):
                 findings.append(finding)
+    summary = summarize(mod, sha256, findings)
+    return _FileResult(display, sha256, summary, tuple(findings), None, False)
+
+
+def _default_jobs() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+def _phase1(
+    files: list[Path],
+    file_rules: tuple[Rule, ...],
+    cache: AnalysisCache | None,
+    jobs: int | None,
+) -> tuple[list[_FileResult], list[str]]:
+    """Per-file results in discovery order, plus I/O errors."""
+    io_errors: list[str] = []
+    slots: list[_FileResult | None] = []
+    fresh: list[tuple[int, Path, str, str, str]] = []  # slot, path, display, sha, src
+    for path in files:
+        display = _display_path(path)
+        try:
+            data = path.read_bytes()
+            source = data.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            io_errors.append(f"{display}: {exc}")
+            continue
+        sha256 = file_digest(data)
+        entry = cache.lookup(display, sha256) if cache is not None else None
+        if entry is not None:
+            findings = entry.summary.findings if entry.summary else ()
+            slots.append(
+                _FileResult(
+                    display, sha256, entry.summary, findings, entry.parse_error, True
+                )
+            )
+            continue
+        slots.append(None)
+        fresh.append((len(slots) - 1, path, display, sha256, source))
+    if fresh:
+        workers = jobs if jobs is not None else _default_jobs()
+        if workers > 1 and len(fresh) > 1:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                parsed = list(
+                    pool.map(
+                        lambda item: _parse_one(
+                            item[1], item[2], item[3], item[4], file_rules
+                        ),
+                        fresh,
+                    )
+                )
+        else:
+            parsed = [
+                _parse_one(path, display, sha, src, file_rules)
+                for _, path, display, sha, src in fresh
+            ]
+        for (slot, *_), result in zip(fresh, parsed):
+            slots[slot] = result
+            if cache is not None:
+                cache.store(
+                    result.display,
+                    result.sha256,
+                    result.summary,
+                    result.parse_error,
+                )
+    return [slot for slot in slots if slot is not None], io_errors
+
+
+def _phase2(
+    summaries: list[FileSummary], project_rules: tuple[ProjectRule, ...]
+) -> list[LintFinding]:
+    """Whole-program findings, suppression-filtered via the summaries."""
+    if not project_rules or not summaries:
+        return []
+    index = ProjectIndex.build(summaries)
+    effects = analyze(index)
+    by_path = {s.display_path: s for s in summaries}
+    findings: list[LintFinding] = []
+    for rule in project_rules:
+        for finding in rule.check_project(index, effects):
+            summary = by_path.get(finding.file)
+            if summary is not None and summary.suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def lint_file(
+    path: Path, rules: tuple[Rule, ...]
+) -> tuple[list[LintFinding], str | None]:
+    """Lint one file in isolation (single-file project scope).
+
+    Whole-program rules still run — over an index containing just this
+    file — which is what the fixture harness exercises.
+    """
+    display = _display_path(path)
+    file_rules, project_rules = _split_rules(rules)
+    try:
+        data = path.read_bytes()
+        source = data.decode("utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [], f"{display}: {exc}"
+    result = _parse_one(path, display, file_digest(data), source, file_rules)
+    if result.parse_error is not None or result.summary is None:
+        return [], result.parse_error
+    findings = list(result.findings)
+    findings.extend(_phase2([result.summary], project_rules))
+    findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
     return findings, None
 
 
 def lint_paths(
     paths: Iterable[Path],
     select: Callable[[str], bool] | None = None,
+    cache_dir: Path | None = None,
+    jobs: int | None = None,
 ) -> LintReport:
-    """Lint every python file under ``paths`` with the selected rules."""
+    """Lint every python file under ``paths`` with the selected rules.
+
+    With ``cache_dir``, unchanged files are served from the incremental
+    cache (phase 1 is skipped for them) and the cache is rewritten at
+    the end; findings are identical to a cold run by construction.
+    """
     rules = select_rules(select)
+    file_rules, project_rules = _split_rules(rules)
+    cache = (
+        AnalysisCache.open(cache_dir, rules) if cache_dir is not None else None
+    )
+    files = list(iter_python_files(paths))
+    results, io_errors = _phase1(files, file_rules, cache, jobs)
+
     findings: list[LintFinding] = []
-    parse_errors: list[str] = []
-    files = 0
-    for path in iter_python_files(paths):
-        files += 1
-        file_findings, parse_error = lint_file(path, rules)
-        findings.extend(file_findings)
-        if parse_error is not None:
-            parse_errors.append(parse_error)
+    parse_errors: list[str] = list(io_errors)
+    summaries: list[FileSummary] = []
+    for result in results:
+        findings.extend(result.findings)
+        if result.parse_error is not None:
+            parse_errors.append(result.parse_error)
+        if result.summary is not None:
+            summaries.append(result.summary)
+    findings.extend(_phase2(summaries, project_rules))
+
+    if cache is not None:
+        cache.save()
+
     findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
     return LintReport(
         findings=tuple(findings),
-        files_scanned=files,
+        files_scanned=len(files),
         parse_errors=tuple(parse_errors),
+        cache_hits=sum(1 for r in results if r.from_cache),
+        files_reparsed=sum(1 for r in results if not r.from_cache),
     )

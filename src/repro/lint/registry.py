@@ -1,17 +1,25 @@
 """Pluggable rule registry.
 
-A rule is a named, documented check over one :class:`ModuleUnderLint`.
-Rules self-register at import time via :func:`register`; the engine and
-CLI discover them through :func:`all_rules` / :func:`select_rules`, so
-adding a rule is one subclass in ``repro.lint.rules`` with no wiring.
+A rule is a named, documented check.  File rules (:class:`Rule`) check
+one :class:`ModuleUnderLint`; project rules (:class:`ProjectRule`)
+check the whole-program :class:`~repro.lint.project.ProjectIndex` after
+every file is summarized, which is how the transitive rules (ASY003,
+DET007, POOL004) see through helper functions.  Rules self-register at
+import time via :func:`register`; the engine and CLI discover them
+through :func:`all_rules` / :func:`select_rules`, so adding a rule is
+one subclass in ``repro.lint.rules`` with no wiring.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from .context import ModuleUnderLint
 from .findings import LintFinding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .effects import EffectAnalysis
+    from .project import ProjectIndex
 
 
 class Rule:
@@ -40,6 +48,40 @@ class Rule:
         """Build a finding with this rule's id/severity/hint filled in."""
         return LintFinding(
             file=mod.display_path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            hint=self.hint,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Subclasses implement :meth:`check_project` over the phase-2 index
+    and effect analysis instead of :meth:`check`; the engine applies
+    suppression comments afterwards using the per-file tables carried
+    in the summaries.
+    """
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[LintFinding]:
+        # Project rules never run per file; the engine routes them
+        # through check_project after the index is built.
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectIndex", effects: "EffectAnalysis"
+    ) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self, file: str, line: int, col: int, message: str
+    ) -> LintFinding:
+        """Build a finding at an explicit location (no module context)."""
+        return LintFinding(
+            file=file,
             line=line,
             col=col,
             rule=self.id,

@@ -1,5 +1,19 @@
 """Rule implementations; importing this package registers every rule."""
 
-from . import asyncrules, determinism, invariants, meta, poolsafety
+from . import (
+    asyncrules,
+    determinism,
+    invariants,
+    meta,
+    poolsafety,
+    wholeprogram,
+)
 
-__all__ = ["asyncrules", "determinism", "invariants", "meta", "poolsafety"]
+__all__ = [
+    "asyncrules",
+    "determinism",
+    "invariants",
+    "meta",
+    "poolsafety",
+    "wholeprogram",
+]

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export.
+
+SARIF is the interchange format CI code-scanning UIs ingest; emitting
+it directly means findings annotate pull requests without an adapter.
+The document is deterministic: rules sorted by id, results in the
+report's already-sorted order, no timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import LintReport
+    from .registry import Rule
+
+#: SARIF spec version emitted
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def to_sarif(report: "LintReport", rules: Sequence["Rule"]) -> dict[str, object]:
+    """The report as a SARIF 2.1.0 log with a single run."""
+    rule_ids = sorted({f.rule for f in report.findings})
+    by_id = {rule.id: rule for rule in rules}
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    driver_rules: list[dict[str, object]] = []
+    for rid in rule_ids:
+        rule = by_id.get(rid)
+        entry: dict[str, object] = {"id": rid}
+        if rule is not None:
+            entry["shortDescription"] = {"text": rule.summary}
+            if rule.hint:
+                entry["help"] = {"text": rule.hint}
+            entry["defaultConfiguration"] = {
+                "level": _LEVELS.get(rule.severity.value, "warning")
+            }
+        driver_rules.append(entry)
+    results: list[dict[str, object]] = []
+    for finding in report.findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": _LEVELS.get(finding.severity.value, "warning"),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.file},
+                            "region": {
+                                "startLine": finding.line,
+                                # SARIF columns are 1-based; findings
+                                # carry the AST's 0-based offset.
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    for error in report.parse_errors:
+        results.append(
+            {
+                "ruleId": "parse-error",
+                "level": "error",
+                "message": {"text": error},
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/lint"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -1,0 +1,22 @@
+# repro: lint-module[repro.serve.fixture_asy003_methods]
+"""Known-bad: the blocking chain runs through instance methods --
+``self._save()`` -> ``self._write()`` -> ``Path.write_text``.  ASY003
+resolves ``self.m()`` through the enclosing class."""
+
+import asyncio
+from pathlib import Path
+
+
+class SnapshotWriter:
+    def __init__(self, path: Path) -> None:
+        self.path = path
+
+    def _write(self, payload: str) -> None:
+        self.path.write_text(payload)
+
+    def _save(self, payload: str) -> None:
+        self._write(payload)
+
+    async def on_request(self, payload: str) -> None:
+        self._save(payload)  # expect: ASY003
+        await asyncio.sleep(0)

@@ -1,0 +1,27 @@
+# repro: lint-module[repro.serve.fixture_asy003]
+"""Known-bad: a serve coroutine reaches time.sleep through two sync
+helpers.  ASY001 cannot see it (the sleep is not lexically inside the
+coroutine); ASY003 follows the call chain.  The executor-shipped
+variant below is the known-good cut: the same helper off-loaded with
+run_in_executor never blocks the loop."""
+
+import asyncio
+import time
+
+
+def _flush_disk() -> None:
+    time.sleep(0.1)
+
+
+def _persist() -> None:
+    _flush_disk()
+
+
+async def handler() -> None:
+    _persist()  # expect: ASY003
+    await asyncio.sleep(0)
+
+
+async def offloaded(loop: asyncio.AbstractEventLoop) -> None:
+    # Known-good: the thunk runs on a worker thread, not the loop.
+    await loop.run_in_executor(None, _persist)

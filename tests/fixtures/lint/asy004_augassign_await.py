@@ -1,0 +1,25 @@
+# repro: lint-module[repro.serve.fixture_asy004_aug]
+"""Known-bad: an augmented assignment to shared state whose right-hand
+side awaits -- the read happens before the suspension, the write after
+it, and every update the loop ran in between is overwritten.  The
+pending-counter idiom below it is the known-good shape: each increment
+and decrement is atomic between awaits."""
+
+import asyncio
+
+
+class MetricsServer:
+    async def _fetch_delta(self) -> int:
+        await asyncio.sleep(0)
+        return 1
+
+    async def serve_one(self) -> None:
+        self.metrics["served"] += await self._fetch_delta()  # expect: ASY004
+
+    async def admitted(self) -> None:
+        # Known-good: no await inside either read-modify-write.
+        self._pending += 1
+        try:
+            await asyncio.sleep(0)
+        finally:
+            self._pending -= 1

@@ -1,0 +1,27 @@
+# repro: lint-module[repro.serve.fixture_asy004]
+"""Known-bad: a shared counter is read into a local, the coroutine
+suspends at an await, then the stale local is written back -- the
+lost-update race.  The locked variant below is the known-good shape:
+the same read-modify-write under ``async with lock`` is serialized."""
+
+import asyncio
+
+
+async def bump(state, key: str) -> None:
+    cur = state.counters[key]
+    await asyncio.sleep(0)
+    state.counters[key] = cur + 1  # expect: ASY004
+
+
+async def bump_locked(state, key: str) -> None:
+    # Known-good: the lock spans the whole read-modify-write.
+    async with state.lock:
+        cur = state.counters[key]
+        await asyncio.sleep(0)
+        state.counters[key] = cur + 1
+
+
+async def rebuild(state, key: str) -> None:
+    # Known-good: the write does not depend on the pre-await read.
+    await asyncio.sleep(0)
+    state.counters[key] = 0

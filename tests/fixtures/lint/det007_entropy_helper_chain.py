@@ -1,0 +1,18 @@
+# repro: lint-module[repro.core.fixture_det007]
+"""Known-bad: inside a determinism package, the direct entropy call is
+DET001 territory; the *caller one hop up* is DET007 territory -- the
+taint arrives through the helper.  Both fire, at different lines."""
+
+import random
+
+
+def _draw() -> float:
+    return random.random()  # expect: DET001
+
+
+def _jittered(base: float) -> float:
+    return base + _draw()  # expect: DET007
+
+
+def schedule_delay(base: float) -> float:
+    return _jittered(base)  # expect: DET007

@@ -1,0 +1,23 @@
+"""Known-bad: a Protocol implementation calls a module-level helper
+that reads the wall clock.  The helper itself is outside the
+determinism scope (DET002 stays quiet on it), but the taint flows into
+the protocol step through the call -- DET007's job."""
+
+import time
+
+
+def _stamp() -> float:
+    return time.time()
+
+
+def _label() -> str:
+    return f"run-{_stamp()}"
+
+
+class TimestampingProcess(ProtocolProcess):  # noqa: F821
+    def step(self, tick: int) -> str:
+        return _label()  # expect: DET007
+
+    def clean_step(self, tick: int) -> int:
+        # Known-good: pure arithmetic on the simulated tick.
+        return tick + 1

@@ -1,0 +1,16 @@
+"""Known-bad: a ``<locals>``-nested function handed to a spec factory.
+Pickle resolves callables by qualified module path and cannot reach a
+function defined inside another function."""
+
+
+def module_metric(run) -> int:
+    return run.rounds
+
+
+def build():
+    def local_metric(run) -> int:
+        return run.rounds
+
+    good = ExploreSpec(module_metric)  # noqa: F821  (known-good)
+    bad = ExploreSpec(local_metric)  # expect: POOL004
+    return good, bad

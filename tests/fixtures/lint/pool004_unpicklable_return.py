@@ -1,0 +1,20 @@
+"""Known-bad: spec arguments produced by helpers that (transitively)
+return unpicklable objects.  The PicklingError only surfaces when the
+pool dispatches the spec -- far from these construction sites."""
+
+import threading
+
+
+def fresh_lock() -> threading.Lock:
+    return threading.Lock()
+
+
+def wrapped_lock() -> threading.Lock:
+    return fresh_lock()
+
+
+def build_specs():
+    plain = RunSpec(seed=7)  # noqa: F821  (known-good: plain data)
+    direct = RunSpec(fresh_lock())  # expect: POOL004
+    transitive = EnsembleSpec(wrapped_lock())  # expect: POOL004
+    return plain, direct, transitive

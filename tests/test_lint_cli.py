@@ -64,7 +64,33 @@ def test_select_warning_only_rule_exits_zero(capsys) -> None:
 
 def test_select_unknown_rule_is_usage_error(capsys) -> None:
     assert main([str(FIXTURES), "--select", "BOGUS9"]) == 2
-    assert "unknown rule id" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown rule id" in err
+    # the error lists the valid catalog so the fix is one copy-paste away
+    assert "DET001" in err and "ASY003" in err
+
+
+def test_select_empty_spec_is_usage_error(capsys) -> None:
+    assert main([str(FIXTURES), "--select", ","]) == 2
+    err = capsys.readouterr().err
+    assert "no rule ids" in err and "DET001" in err
+
+
+def test_bad_jobs_is_usage_error(capsys) -> None:
+    assert main([str(FIXTURES), "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_update_baseline_without_baseline_is_usage_error(capsys) -> None:
+    assert main([str(FIXTURES), "--update-baseline"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_unreadable_baseline_is_usage_error(tmp_path, capsys) -> None:
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json")
+    assert main([str(FIXTURES), "--baseline", str(bad)]) == 2
+    assert "baseline" in capsys.readouterr().err
 
 
 def test_missing_path_is_usage_error(capsys) -> None:
@@ -95,6 +121,45 @@ def test_default_path_is_src_repro(capsys, monkeypatch) -> None:
     assert main([]) == 0
     out = capsys.readouterr().out
     assert "0 error(s)" in out
+
+
+def test_sarif_output_is_valid_and_stable(capsys) -> None:
+    assert main([str(FIXTURES), "--format", "sarif"]) == 1
+    first = capsys.readouterr().out
+    assert main([str(FIXTURES), "--format", "sarif"]) == 1
+    second = capsys.readouterr().out
+    assert first == second
+    doc = json.loads(first)
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    assert results and all("ruleId" in r for r in results)
+
+
+def test_baseline_workflow_roundtrip(tmp_path, capsys) -> None:
+    fixture = FIXTURES / "asy003_transitive_blocking.py"
+    baseline = tmp_path / "lint-baseline.json"
+    # record the current findings...
+    assert main([str(fixture), "--baseline", str(baseline), "--update-baseline"]) == 0
+    capsys.readouterr()
+    # ...then a run against the baseline reports nothing new
+    assert main([str(fixture), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "(1 baselined)" in out and "0 warning(s)" in out
+    # without the baseline the finding is still reported
+    assert main([str(fixture), "--format", "json"]) == 0  # warning severity
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"ASY003": 1}
+
+
+def test_cache_dir_flag_runs_warm(tmp_path, capsys) -> None:
+    cache = tmp_path / "cache"
+    assert main([str(CLEAN), "--cache-dir", str(cache), "--stats"]) == 0
+    first = capsys.readouterr()
+    assert "0 hit(s)" in first.err
+    assert main([str(CLEAN), "--cache-dir", str(cache), "--stats"]) == 0
+    second = capsys.readouterr()
+    assert "0 file(s) re-parsed" in second.err
+    assert first.out == second.out  # cache never changes the verdict
 
 
 def test_harness_dispatch() -> None:

@@ -11,9 +11,11 @@ into an error message and into the reference kernel's sweep order).
 from __future__ import annotations
 
 import pickle
+from pathlib import Path
 
 import pytest
 
+from repro.lint import lint_paths
 from repro.knowledge.analysis import a4_instance_holds
 from repro.knowledge.formulas import Inited
 from repro.knowledge.semantics import ModelChecker
@@ -62,6 +64,79 @@ class TestRunIndexIdentityAudit:
             idx = system.run_index(transient)
             if idx is not None:  # only via the value fallback
                 assert system.runs[idx] == transient
+
+
+class TestWholeProgramAudit:
+    """The whole-program rules (ASY003/ASY004/DET007/POOL004) audited
+    ``src/repro`` and found the serve package already disciplined: every
+    blocking state/WAL operation is executor-shipped and every
+    read-modify-write spanning an await holds the session lock.  These
+    tests pin that the analysis *sees* the code (the effect fixpoint
+    resolves the blocking chains) and still reports it clean — so a
+    future refactor that drops the executor or the lock turns into a
+    lint finding, and a future analyzer regression that goes blind
+    fails the visibility assertions instead of passing vacuously."""
+
+    @staticmethod
+    def _src() -> Path:
+        return Path(__file__).parent.parent / "src" / "repro"
+
+    def test_new_rules_report_serve_clean(self) -> None:
+        new_rules = {"ASY003", "ASY004", "DET007", "POOL004"}
+        report = lint_paths([self._src()], select=lambda rid: rid in new_rules)
+        assert report.findings == (), "\n".join(
+            f.render() for f in report.findings
+        )
+
+    def test_effect_analysis_sees_serve_blocking_chains(self) -> None:
+        """Visibility guard: the WAL/state persistence helpers the
+        server executor-ships ARE blocking in the effect fixpoint; the
+        coroutines that ship them are NOT.  If the fixpoint went blind,
+        the first assertion fails; if the executor discipline broke,
+        ASY003 fires via test_new_rules_report_serve_clean."""
+        from repro.lint.effects import analyze
+        from repro.lint.engine import (
+            _display_path,
+            _parse_one,
+            _split_rules,
+            iter_python_files,
+        )
+        from repro.lint.cache import file_digest
+        from repro.lint.project import ProjectIndex
+        from repro.lint.registry import select_rules
+
+        file_rules, _ = _split_rules(select_rules(None))
+        summaries = []
+        for path in iter_python_files([self._src()]):
+            data = path.read_bytes()
+            result = _parse_one(
+                path,
+                _display_path(path),
+                file_digest(data),
+                data.decode("utf-8"),
+                file_rules,
+            )
+            assert result.parse_error is None, result.parse_error
+            assert result.summary is not None
+            summaries.append(result.summary)
+        effects = analyze(ProjectIndex.build(summaries))
+
+        blocking = {
+            gqn
+            for gqn in effects.effects
+            if effects.has_effect(gqn, "blocking")
+        }
+        # The persistence layer the server off-loads is visibly blocking.
+        assert any(gqn.startswith("repro.serve.state::") for gqn in blocking)
+        # The server coroutines that executor-ship it stay clean.
+        server_coroutines = [
+            gqn
+            for gqn, decl in effects.index.functions.items()
+            if gqn.startswith("repro.serve.server::") and decl.is_async
+        ]
+        assert server_coroutines, "expected coroutines in repro.serve.server"
+        leaked = [gqn for gqn in server_coroutines if gqn in blocking]
+        assert leaked == [], f"event-loop blocking leaked into: {leaked}"
 
 
 class TestSetOrderRegressions:

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI smoke for the incremental lint cache.
+
+Runs the whole-program analyzer twice over the same tree with a shared
+``--cache-dir``:
+
+* the **cold** run parses every file and populates the cache;
+* the **warm** run must re-parse **zero** files, produce **byte-identical**
+  JSON, and finish faster than the cold run (a loose 2x bound so shared
+  runners don't flake).
+
+Exit 0 when all three hold; exit 1 with a diagnostic otherwise.  This is
+the executable form of the cache contract in DESIGN.md §16: caching is a
+pure performance optimization and must never change the verdict.
+
+Usage::
+
+    python tools/check_lint_cache.py [--cache-dir DIR] [paths...]
+
+Defaults to linting ``src/repro`` with a temporary cache directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.lint.engine import LintReport, lint_paths  # noqa: E402
+
+
+def _run(paths: list[Path], cache_dir: Path) -> tuple[LintReport, float]:
+    start = time.perf_counter()
+    report = lint_paths(paths, cache_dir=cache_dir)
+    return report, time.perf_counter() - start
+
+
+def _json(report: LintReport) -> str:
+    import json
+
+    return json.dumps(report.as_dict(), indent=2, sort_keys=False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", type=Path)
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [REPO / "src" / "repro"]
+    if args.cache_dir is not None:
+        cache_dir = args.cache_dir
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="lint-cache-")
+        cache_dir = Path(cleanup.name)
+
+    try:
+        cold, cold_s = _run(paths, cache_dir)
+        warm, warm_s = _run(paths, cache_dir)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    print(
+        f"cold: {cold.files_scanned} file(s), {cold.files_reparsed} parsed, "
+        f"{cold_s:.2f}s"
+    )
+    print(
+        f"warm: {warm.files_scanned} file(s), {warm.files_reparsed} parsed, "
+        f"{warm.cache_hits} cache hit(s), {warm_s:.2f}s"
+    )
+
+    failures: list[str] = []
+    if warm.files_reparsed != 0:
+        failures.append(
+            f"warm run re-parsed {warm.files_reparsed} file(s); expected 0"
+        )
+    if warm.cache_hits != warm.files_scanned:
+        failures.append(
+            f"warm run hit cache for {warm.cache_hits}/{warm.files_scanned} "
+            "file(s); expected all"
+        )
+    if _json(cold) != _json(warm):
+        failures.append("warm JSON report differs from cold (verdict changed)")
+    # Loose bound: a warm run does no parsing and no per-file rule work,
+    # so even on a noisy shared runner it should beat half the cold time.
+    if cold.files_reparsed > 0 and warm_s >= cold_s / 2:
+        failures.append(
+            f"warm run ({warm_s:.2f}s) not faster than half the cold run "
+            f"({cold_s:.2f}s)"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"OK: warm run byte-identical, zero re-parses, {cold_s / max(warm_s, 1e-9):.0f}x faster")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
